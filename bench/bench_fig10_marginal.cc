@@ -1,0 +1,79 @@
+// Figure 10 (Appendix D) — marginal (truncated) spread per seed index.
+//
+// The paper records, for each adaptive seed in selection order, the number
+// of nodes it newly activated under the hidden realization; the curve
+// diminishes with the index (adaptive submodularity), with per-realization
+// fluctuation. One section per dataset, averaged over the realizations,
+// plus min/max envelopes.
+
+#include <algorithm>
+#include <iostream>
+
+#include "benchutil/cli.h"
+#include "benchutil/experiment.h"
+#include "benchutil/table.h"
+#include "graph/datasets.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  const CommandLine cli(argc, argv);
+  const double scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", 0.5));
+  const size_t realizations = EnvSize(
+      "ASM_BENCH_REALIZATIONS_FIG10",
+      static_cast<size_t>(cli.GetInt("realizations", 10)));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+
+  std::cout << "Figure 10: marginal truncated spread by seed index (IC model, "
+            << realizations << " realizations, scale=" << scale << ")\n";
+  for (const DatasetInfo& info : AllDatasets()) {
+    auto graph = MakeSurrogateDataset(info.id, scale, seed);
+    if (!graph.ok()) {
+      std::cerr << graph.status().ToString() << "\n";
+      return 1;
+    }
+    // The paper uses eta/n = 0.2 (0.05 for LiveJournal).
+    const double eta_fraction = info.id == DatasetId::kLiveJournal ? 0.05 : 0.2;
+    CellConfig config;
+    config.eta = std::max<NodeId>(
+        1, static_cast<NodeId>(eta_fraction * graph->NumNodes()));
+    config.algorithm = AlgorithmId::kAsti;
+    config.realizations = realizations;
+    config.seed = seed;
+    config.keep_traces = true;
+    const CellResult result = RunCell(*graph, config);
+
+    // Per seed index: mean/min/max of newly_activated across realizations.
+    size_t max_seeds = 0;
+    for (const auto& trace : result.traces) {
+      max_seeds = std::max(max_seeds, trace.rounds.size());
+    }
+    std::cout << "\n(" << info.name << ", eta=" << config.eta << ")\n";
+    TextTable table({"seed idx", "mean marginal", "min", "max", "runs"});
+    for (size_t index = 0; index < max_seeds; ++index) {
+      double total = 0.0;
+      double lo = 1e18;
+      double hi = 0.0;
+      size_t runs = 0;
+      for (const auto& trace : result.traces) {
+        if (index >= trace.rounds.size()) continue;
+        const double gain = trace.rounds[index].newly_activated;
+        total += gain;
+        lo = std::min(lo, gain);
+        hi = std::max(hi, gain);
+        ++runs;
+      }
+      // Print every index for short runs, every 5th beyond 20 rows.
+      if (index < 20 || index % 5 == 0 || index + 1 == max_seeds) {
+        table.AddRow({std::to_string(index + 1), FormatDouble(total / runs, 1),
+                      FormatDouble(lo, 0), FormatDouble(hi, 0),
+                      std::to_string(runs)});
+      }
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nShape check (paper Fig. 10): the mean marginal spread "
+               "diminishes with the seed index (submodularity), with "
+               "realization-level fluctuation in the min/max envelope.\n";
+  return 0;
+}

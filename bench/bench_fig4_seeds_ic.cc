@@ -1,0 +1,56 @@
+// Figure 4 — number of seed nodes vs threshold η/n under the IC model.
+//
+// The paper's headline plot: across four datasets and five thresholds,
+// ASTI/ASTI-b/AdaptIM select far fewer seeds than ATEUC (30-65% fewer),
+// AdaptIM ≈ ASTI, and batched variants cost a few extra seeds. "(miss)"
+// marks cells where the algorithm failed to reach η on some realization —
+// only ATEUC ever earns it.
+
+#include <iostream>
+
+#include "benchutil/sweep.h"
+#include "benchutil/table.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  SweepOptions options;
+  options.model = DiffusionModel::kIndependentCascade;
+  ApplyStandardOverrides(argc, argv, options);
+
+  std::cout << "Figure 4: number of seeds vs threshold (IC model), scale="
+            << options.scale << ", realizations=" << options.realizations << "\n";
+  const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
+    ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
+                   << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)
+                   << ": " << Summarize(cell.result.aggregate);
+  });
+
+  for (DatasetId dataset : options.datasets) {
+    std::cout << "\n(" << GetDatasetInfo(dataset).name << ")\n";
+    std::vector<std::string> header = {"eta/n"};
+    for (AlgorithmId algorithm : options.algorithms) {
+      header.push_back(AlgorithmName(algorithm));
+    }
+    TextTable table(header);
+    for (double eta_fraction : EtaFractionsFor(dataset)) {
+      std::vector<std::string> row = {FormatDouble(eta_fraction, 2)};
+      for (AlgorithmId algorithm : options.algorithms) {
+        for (const SweepCell& cell : cells) {
+          if (cell.dataset == dataset && cell.eta_fraction == eta_fraction &&
+              cell.algorithm == algorithm) {
+            std::string text = FormatDouble(cell.result.aggregate.mean_seeds, 1);
+            if (!cell.result.always_reached) text += " (miss)";
+            row.push_back(text);
+          }
+        }
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nShape check (paper Fig. 4): ATEUC needs ~30-65% more seeds "
+               "than ASTI; AdaptIM tracks ASTI; ASTI-2/4/8 add a few seeds; "
+               "only ATEUC shows (miss) cells.\n";
+  return 0;
+}

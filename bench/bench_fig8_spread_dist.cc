@@ -1,0 +1,75 @@
+// Figure 8 — spread across 20 realizations on NetHEPT, ASTI vs ATEUC,
+// under both IC and LT.
+//
+// The paper's reliability plot: ATEUC's non-adaptive seed set undershoots
+// η on ~25-30% of realizations and overshoots by >50% on others, while
+// ASTI meets η on every realization and stays close to it.
+
+#include <algorithm>
+#include <iostream>
+
+#include "benchutil/cli.h"
+#include "benchutil/experiment.h"
+#include "benchutil/table.h"
+#include "graph/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  const CommandLine cli(argc, argv);
+  const double scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", 1.0));
+  const size_t realizations =
+      EnvSize("ASM_BENCH_REALIZATIONS_FIG8",
+              static_cast<size_t>(cli.GetInt("realizations", 20)));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+
+  auto graph = MakeSurrogateDataset(DatasetId::kNetHept, scale, seed);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  // The paper's NetHEPT threshold 153 corresponds to eta/n ~= 0.01.
+  const NodeId eta =
+      std::max<NodeId>(1, static_cast<NodeId>(0.01 * graph->NumNodes()));
+
+  std::cout << "Figure 8: spread per realization on NetHEPT surrogate (n="
+            << graph->NumNodes() << ", eta=" << eta << ", " << realizations
+            << " realizations)\n";
+  for (DiffusionModel model :
+       {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold}) {
+    CellConfig config;
+    config.model = model;
+    config.eta = eta;
+    config.realizations = realizations;
+    config.seed = seed;
+    config.algorithm = AlgorithmId::kAsti;
+    const CellResult asti = RunCell(*graph, config);
+    config.algorithm = AlgorithmId::kAteuc;
+    const CellResult ateuc = RunCell(*graph, config);
+
+    std::cout << "\n[" << DiffusionModelName(model) << " model] threshold = " << eta
+              << "\n";
+    TextTable table({"realization", "ASTI spread", "ATEUC spread", "ATEUC verdict"});
+    size_t under = 0;
+    size_t over50 = 0;
+    for (size_t r = 0; r < realizations; ++r) {
+      std::string verdict = "ok";
+      if (ateuc.spreads[r] < eta) {
+        verdict = "UNDER";
+        ++under;
+      } else if (ateuc.spreads[r] > 1.5 * eta) {
+        verdict = "over +50%";
+        ++over50;
+      }
+      table.AddRow({std::to_string(r + 1), FormatDouble(asti.spreads[r], 0),
+                    FormatDouble(ateuc.spreads[r], 0), verdict});
+    }
+    table.Print(std::cout);
+    std::cout << "ASTI reached eta on " << asti.aggregate.runs_reaching_target << "/"
+              << realizations << " realizations; ATEUC undershot " << under
+              << " and overshot by >50% on " << over50 << ".\n";
+  }
+  std::cout << "\nShape check (paper Fig. 8): ASTI meets the threshold on "
+               "every realization and hugs it; ATEUC misses a nontrivial "
+               "fraction and wildly overshoots on others.\n";
+  return 0;
+}

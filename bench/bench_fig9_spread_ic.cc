@@ -1,0 +1,54 @@
+// Figure 9 (Appendix C) — influence spread vs threshold under the IC model.
+//
+// All algorithms achieve comparable spread; ATEUC's grows slightly larger
+// at big η (it buys reliability with extra seeds), and large-batch ASTI-8
+// overshoots at small η where one batch already exceeds the target.
+
+#include <iostream>
+
+#include "benchutil/sweep.h"
+#include "benchutil/table.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  SweepOptions options;
+  options.model = DiffusionModel::kIndependentCascade;
+  ApplyStandardOverrides(argc, argv, options);
+
+  std::cout << "Figure 9: average spread vs threshold (IC model), scale="
+            << options.scale << ", realizations=" << options.realizations << "\n";
+  const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
+    ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
+                   << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)
+                   << ": " << Summarize(cell.result.aggregate);
+  });
+
+  for (DatasetId dataset : options.datasets) {
+    std::cout << "\n(" << GetDatasetInfo(dataset).name << ")\n";
+    std::vector<std::string> header = {"eta/n", "eta"};
+    for (AlgorithmId algorithm : options.algorithms) {
+      header.push_back(AlgorithmName(algorithm));
+    }
+    TextTable table(header);
+    for (double eta_fraction : EtaFractionsFor(dataset)) {
+      std::vector<std::string> row = {FormatDouble(eta_fraction, 2), ""};
+      for (AlgorithmId algorithm : options.algorithms) {
+        for (const SweepCell& cell : cells) {
+          if (cell.dataset == dataset && cell.eta_fraction == eta_fraction &&
+              cell.algorithm == algorithm) {
+            row[1] = std::to_string(cell.eta);
+            row.push_back(FormatDouble(cell.result.aggregate.mean_spread, 0));
+          }
+        }
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nShape check (paper Fig. 9): spreads cluster near eta for "
+               "the adaptive algorithms; ASTI-8 overshoots at the smallest "
+               "eta; ATEUC trends slightly above the adaptive algorithms as "
+               "eta grows.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Theory validation — Lemmas 3.8 and 3.9 measured on a live ASTI run.
+//
+// Lemma 3.8: the expected cost of one mRR-set in round i is
+// O(OPT_i/η_i · m_i)  — we record edges examined per set against that
+// predictor. Lemma 3.9: the number of mRR-sets TRIM generates is
+// O(η_i ln n_i / (ε² OPT_i)) — we record TRIM's sample count against that
+// predictor. Both ratios (measured / predicted) should stay bounded and
+// roughly flat across rounds; that flatness is the paper's argument for
+// why per-round cost is independent of the round index (§3.5).
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "benchutil/cli.h"
+#include "benchutil/table.h"
+#include "core/asti.h"
+#include "core/trim.h"
+#include "diffusion/world.h"
+#include "graph/datasets.h"
+#include "sampling/mrr_set.h"
+#include "sampling/root_size.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  const CommandLine cli(argc, argv);
+  const double scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", 0.5));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const double epsilon = cli.GetDouble("epsilon", 0.5);
+
+  auto graph = MakeSurrogateDataset(DatasetId::kNetHept, scale, seed);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const NodeId n = graph->NumNodes();
+  const size_t m = graph->NumEdges();
+  const NodeId eta = std::max<NodeId>(2, n / 5);  // eta/n = 0.2: many rounds
+  std::cout << "Lemma 3.8/3.9 validation on NetHEPT surrogate (n=" << n
+            << ", m=" << m << ", eta=" << eta << ", eps=" << epsilon << ")\n\n";
+
+  // Drive ASTI manually so per-round sampling cost can be isolated.
+  Rng world_rng(seed + 1);
+  AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
+  Rng rng(seed + 2);
+
+  TextTable table({"round", "n_i", "eta_i", "OPT_i~", "sets", "pred sets",
+                   "ratio39", "edges/set", "pred cost", "ratio38"});
+  size_t round = 0;
+  while (!world.TargetReached() && round < 200) {
+    ++round;
+    const NodeId ni = world.NumInactive();
+    const NodeId eta_i = world.Shortfall();
+
+    Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{epsilon});
+    ResidualView view;
+    view.active = &world.ActiveMask();
+    view.inactive_nodes = &world.InactiveNodes();
+    view.shortfall = eta_i;
+
+    // Separate instrumented sampler measuring edges/set at this state.
+    MrrSampler probe(*graph, DiffusionModel::kIndependentCascade);
+    RootSizeSampler root_size(ni, eta_i);
+    RrCollection probe_sets(n);
+    const size_t probe_count = 64;
+    for (size_t i = 0; i < probe_count; ++i) {
+      probe.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
+                     probe_sets, rng);
+    }
+    const double edges_per_set =
+        static_cast<double>(probe.cost().edges_examined) / probe_count;
+
+    const SelectionResult selection = trim.SelectBatch(view, rng);
+    // OPT_i proxy: the selected node's own estimated truncated gain.
+    const double opt = std::max(1.0, selection.estimated_marginal_gain);
+
+    const double predicted_sets = static_cast<double>(eta_i) * std::log(ni) /
+                                  (epsilon * epsilon * opt);
+    const double predicted_cost =
+        opt / static_cast<double>(eta_i) * static_cast<double>(m);
+    if (round <= 12 || round % 5 == 0) {
+      table.AddRow({std::to_string(round), std::to_string(ni), std::to_string(eta_i),
+                    FormatDouble(opt, 1), std::to_string(selection.num_samples),
+                    FormatDouble(predicted_sets, 0),
+                    FormatDouble(selection.num_samples / predicted_sets, 2),
+                    FormatDouble(edges_per_set, 1), FormatDouble(predicted_cost, 1),
+                    FormatDouble(edges_per_set / predicted_cost, 3)});
+    }
+    world.Observe(selection.seeds);
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: ratio39 (measured sets / Lemma 3.9 predictor) "
+               "and ratio38 (measured edges-per-set / Lemma 3.8 predictor) "
+               "stay bounded and do not grow with the round index — the "
+               "paper's 'counterintuitive' per-round cost independence.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the sampling substrate:
+// RR vs mRR generation under IC and LT, coverage argmax, greedy coverage,
+// forward simulation, and realization sampling.
+//
+// Not a paper figure — these isolate the primitives whose costs compose
+// into Figures 5/7 (e.g. LT reverse traversals are cheaper than IC ones,
+// mRR-set cost scales with OPT_i/η_i · m_i).
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "coverage/lazy_greedy.h"
+#include "coverage/max_coverage.h"
+#include "diffusion/forward_sim.h"
+#include "graph/datasets.h"
+#include "sampling/mrr_set.h"
+#include "sampling/root_size.h"
+#include "sampling/rr_set.h"
+
+namespace asti {
+namespace {
+
+const DirectedGraph& BenchGraph() {
+  static const DirectedGraph graph = [] {
+    auto result = MakeSurrogateDataset(DatasetId::kNetHept, 0.3, 7);
+    ASM_CHECK(result.ok());
+    return std::move(result).value();
+  }();
+  return graph;
+}
+
+std::vector<NodeId> AllNodes(NodeId n) {
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  return nodes;
+}
+
+void BM_RrSetGeneration(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  const DiffusionModel model = static_cast<DiffusionModel>(state.range(0));
+  RrSampler sampler(graph, model);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(1);
+  for (auto _ : state) {
+    sampler.Generate(candidates, nullptr, collection, rng);
+    if (collection.NumSets() > 100000) {
+      state.PauseTiming();
+      collection.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RrSetGeneration)
+    ->Arg(static_cast<int>(DiffusionModel::kIndependentCascade))
+    ->Arg(static_cast<int>(DiffusionModel::kLinearThreshold));
+
+void BM_MrrSetGeneration(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  const DiffusionModel model = static_cast<DiffusionModel>(state.range(0));
+  const NodeId eta = static_cast<NodeId>(graph.NumNodes() / state.range(1));
+  MrrSampler sampler(graph, model);
+  RootSizeSampler root_size(graph.NumNodes(), eta);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(2);
+  for (auto _ : state) {
+    sampler.Generate(candidates, nullptr, root_size.Sample(rng), collection, rng);
+    if (collection.NumSets() > 20000) {
+      state.PauseTiming();
+      collection.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MrrSetGeneration)
+    ->Args({static_cast<int>(DiffusionModel::kIndependentCascade), 100})
+    ->Args({static_cast<int>(DiffusionModel::kIndependentCascade), 20})
+    ->Args({static_cast<int>(DiffusionModel::kLinearThreshold), 100})
+    ->Args({static_cast<int>(DiffusionModel::kLinearThreshold), 20});
+
+void BM_CoverageArgMax(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) sampler.Generate(candidates, nullptr, collection, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collection.ArgMaxCoverage());
+  }
+}
+BENCHMARK(BM_CoverageArgMax);
+
+void BM_GreedyMaxCoverage(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(4);
+  for (int i = 0; i < 4096; ++i) sampler.Generate(candidates, nullptr, collection, rng);
+  const NodeId budget = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMaxCoverage(collection, budget));
+  }
+}
+BENCHMARK(BM_GreedyMaxCoverage)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_LazyGreedyMaxCoverage(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(4);  // same stream as BM_GreedyMaxCoverage for a fair instance
+  for (int i = 0; i < 4096; ++i) sampler.Generate(candidates, nullptr, collection, rng);
+  const NodeId budget = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LazyGreedyMaxCoverage(collection, budget));
+  }
+}
+BENCHMARK(BM_LazyGreedyMaxCoverage)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_IcRealizationSampling(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Realization::SampleIc(graph, rng));
+  }
+}
+BENCHMARK(BM_IcRealizationSampling);
+
+void BM_ForwardPropagation(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  Rng rng(6);
+  const Realization realization = Realization::SampleIc(graph, rng);
+  ForwardSimulator simulator(graph);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.Propagate(realization, seeds));
+  }
+}
+BENCHMARK(BM_ForwardPropagation);
+
+}  // namespace
+}  // namespace asti
+
+BENCHMARK_MAIN();

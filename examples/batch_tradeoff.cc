@@ -1,0 +1,58 @@
+// Batch-size tradeoff — operating ASTI under a latency budget (§4).
+//
+// Every adaptive round costs a real-world observation window (wait for the
+// cascade to settle before seeding again). TRIM-B amortizes that by
+// seeding b users per round at a small cost in total seeds. This example
+// sweeps b and frames the result as "campaign latency (rounds) vs sample
+// budget (seeds)" so a practitioner can pick their point on the curve.
+
+#include <iostream>
+
+#include "benchutil/table.h"
+#include "core/asti.h"
+#include "core/trim_b.h"
+#include "diffusion/world.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace asti;
+  auto graph = MakeSurrogateDataset(DatasetId::kNetHept, 0.5, 5);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 10);
+  const size_t repeats = 5;
+  std::cout << "Latency/budget tradeoff on a collaboration network: n="
+            << graph->NumNodes() << ", eta=" << eta << ", " << repeats
+            << " hidden worlds per batch size\n\n";
+
+  TextTable table({"batch b", "rounds (latency)", "seeds (budget)",
+                   "selection time (s)", "reached"});
+  for (NodeId batch : {1, 2, 4, 8, 16}) {
+    std::vector<AdaptiveRunTrace> traces;
+    for (size_t run = 0; run < repeats; ++run) {
+      Rng world_rng(800 + run);
+      AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta,
+                          world_rng);
+      TrimB trim_b(*graph, DiffusionModel::kIndependentCascade,
+                   TrimBOptions{0.5, batch});
+      Rng rng(900 + run * 7 + batch);
+      traces.push_back(RunAdaptivePolicy(world, trim_b, rng));
+    }
+    double rounds = 0.0;
+    for (const auto& trace : traces) rounds += static_cast<double>(trace.rounds.size());
+    const RunAggregate aggregate = Aggregate(traces);
+    table.AddRow({std::to_string(batch), FormatDouble(rounds / repeats, 1),
+                  FormatDouble(aggregate.mean_seeds, 1),
+                  FormatDouble(aggregate.mean_seconds, 3),
+                  std::to_string(aggregate.runs_reaching_target) + "/" +
+                      std::to_string(repeats)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading the table: rounds shrink ~linearly in b (campaign "
+               "finishes sooner) while the seed budget grows only mildly — "
+               "the paper's §6.2 conclusion that a well-chosen b balances "
+               "efficiency and effectiveness.\n";
+  return 0;
+}

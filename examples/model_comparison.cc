@@ -1,0 +1,52 @@
+// Diffusion-model comparison — the same campaign under IC and LT (§2.1).
+//
+// The library treats the propagation model as a parameter: samplers,
+// simulators and selectors all dispatch on DiffusionModel. This example
+// runs identical ASTI campaigns under independent cascade and linear
+// threshold on one network and contrasts seeds, spread and runtime —
+// exhibiting the paper's observation that LT runs faster and needs fewer
+// seeds at the same threshold.
+
+#include <iostream>
+
+#include "benchutil/experiment.h"
+#include "benchutil/table.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace asti;
+  auto graph = MakeSurrogateDataset(DatasetId::kYoutube, 0.1, 17);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 10);
+  std::cout << "IC vs LT on a friendship network: n=" << graph->NumNodes()
+            << ", m=" << graph->NumEdges() << ", eta=" << eta << "\n\n";
+
+  TextTable table({"model", "algorithm", "avg seeds", "avg spread", "avg time (s)",
+                   "reached"});
+  for (DiffusionModel model :
+       {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold}) {
+    for (AlgorithmId algorithm : {AlgorithmId::kAsti, AlgorithmId::kAsti4}) {
+      CellConfig config;
+      config.model = model;
+      config.eta = eta;
+      config.algorithm = algorithm;
+      config.realizations = 5;
+      config.seed = 4242;
+      const CellResult result = RunCell(*graph, config);
+      table.AddRow({DiffusionModelName(model), AlgorithmName(algorithm),
+                    FormatDouble(result.aggregate.mean_seeds, 1),
+                    FormatDouble(result.aggregate.mean_spread, 0),
+                    FormatDouble(result.aggregate.mean_seconds, 3),
+                    std::to_string(result.aggregate.runs_reaching_target) + "/5"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading the table: the same code path serves both models; "
+               "LT campaigns finish faster (reverse traversals follow at most "
+               "one in-edge per node) and tend to need fewer seeds, matching "
+               "the paper's Figures 6-7.\n";
+  return 0;
+}

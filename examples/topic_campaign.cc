@@ -1,0 +1,65 @@
+// Topic-aware campaigns — the §2 extension in action.
+//
+// One social network, one per-topic influence profile, three products with
+// different topic mixtures (a sports gadget, a cooking box, a crossover).
+// For each campaign we build the mixture-weighted IC graph and run the
+// unchanged ASTI stack, showing that the seed sets, budgets, and even the
+// best ambassadors differ per campaign.
+
+#include <iostream>
+
+#include "benchutil/table.h"
+#include "core/asti.h"
+#include "core/trim.h"
+#include "diffusion/topic_model.h"
+#include "diffusion/world.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace asti;
+  auto base = MakeSurrogateDataset(DatasetId::kNetHept, 0.3, 77);
+  if (!base.ok()) {
+    std::cerr << base.status().ToString() << "\n";
+    return 1;
+  }
+  Rng profile_rng(123);
+  const TopicProfile profile = MakeRandomTopicProfile(*base, 2, profile_rng);
+  const NodeId eta = base->NumNodes() / 25;
+  std::cout << "Topic-aware campaigns on n=" << base->NumNodes()
+            << " network, target eta=" << eta << " per campaign\n\n";
+
+  struct Campaign {
+    const char* name;
+    TopicMixture mixture;
+  };
+  const std::vector<Campaign> campaigns = {
+      {"sports gadget (topic A)", {1.0, 0.0}},
+      {"cooking box (topic B)", {0.0, 1.0}},
+      {"crossover product", {0.5, 0.5}},
+  };
+
+  TextTable table({"campaign", "seeds", "rounds", "spread", "first seed"});
+  for (const Campaign& campaign : campaigns) {
+    auto graph = BuildCampaignGraph(profile, campaign.mixture);
+    if (!graph.ok()) {
+      std::cerr << graph.status().ToString() << "\n";
+      return 1;
+    }
+    Rng world_rng(55);  // same hidden-randomness stream across campaigns
+    AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
+    Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+    Rng rng(66);
+    const AdaptiveRunTrace trace = RunAdaptivePolicy(world, trim, rng);
+    table.AddRow({campaign.name, std::to_string(trace.NumSeeds()),
+                  std::to_string(trace.rounds.size()),
+                  std::to_string(trace.total_activated),
+                  "node " + std::to_string(trace.seeds.front())});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading the table: the same network needs different "
+               "budgets — and different ambassadors — per product, because "
+               "each campaign reweights every edge by its topic mixture. "
+               "The ASTI machinery is reused verbatim on each campaign "
+               "graph.\n";
+  return 0;
+}

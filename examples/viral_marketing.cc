@@ -1,0 +1,58 @@
+// Viral marketing scenario — the paper's §1 motivation.
+//
+// An advertiser must get a product in front of at least 5% of a social
+// network by handing out free samples, each sample costing real money.
+// Compares three strategies over the same hidden propagation worlds:
+//   * ASTI (adaptive, truncated-influence greedy — the paper's algorithm),
+//   * ATEUC (non-adaptive one-shot selection),
+//   * adaptive highest-degree heuristic (what a naive growth team does).
+// Reports samples spent, campaign reliability, and wasted reach.
+
+#include <iostream>
+
+#include "benchutil/experiment.h"
+#include "benchutil/table.h"
+#include "graph/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  (void)argc;
+  (void)argv;
+
+  // An Epinions-like trust network at laptop scale.
+  auto graph = MakeSurrogateDataset(DatasetId::kEpinions, 0.12, 99);
+  if (!graph.ok()) {
+    std::cerr << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 20);  // 5% reach
+  const size_t campaigns = 8;
+  std::cout << "Viral marketing on a trust network: n=" << graph->NumNodes()
+            << ", target reach eta=" << eta << ", " << campaigns
+            << " simulated campaigns\n\n";
+
+  TextTable table({"strategy", "avg samples", "campaigns reaching target",
+                   "avg reach", "max overshoot"});
+  for (AlgorithmId strategy : {AlgorithmId::kAsti, AlgorithmId::kAteuc,
+                               AlgorithmId::kBisection, AlgorithmId::kDegree}) {
+    CellConfig config;
+    config.eta = eta;
+    config.algorithm = strategy;
+    config.realizations = campaigns;
+    config.seed = 2024;
+    const CellResult result = RunCell(*graph, config);
+    table.AddRow({AlgorithmName(strategy),
+                  FormatDouble(result.aggregate.mean_seeds, 1),
+                  std::to_string(result.aggregate.runs_reaching_target) + "/" +
+                      std::to_string(campaigns),
+                  FormatDouble(result.aggregate.mean_spread, 0),
+                  FormatDouble(100.0 * (result.aggregate.max_spread - eta) / eta, 0) +
+                      "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading the table: the adaptive strategies hit the target on "
+               "every campaign; ASTI does it with the fewest free samples. The "
+               "one-shot strategy can either miss its reach goal outright or "
+               "burn samples on overshoot.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Bisection seed minimization — the classical non-adaptive transformation
+// (Goyal et al. 2013, discussed in §2.4 of the ASTI paper).
+//
+// Existing work turns a non-adaptive influence-*maximization* routine into
+// a seed-*minimization* one by binary-searching the budget k: solve IM for
+// k, check whether the estimated spread reaches η, halve the interval.
+// We instantiate the inner IM solver with RR-set greedy (IMM-style). Like
+// ATEUC it is non-adaptive and inherits the per-realization reliability
+// problem; unlike ATEUC it pays O(log n) IM solves. Included as a second
+// non-adaptive baseline and as the "what the pre-ATEUC literature did"
+// reference point.
+
+#pragma once
+
+#include <vector>
+
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Tuning knobs for the bisection baseline.
+struct BisectionOptions {
+  size_t samples = 8192;      // RR-sets per IM evaluation
+  double target_slack = 1.2;  // aim E[I(S)] at slack·η, like ATEUC
+};
+
+/// Result of the bisection run.
+struct BisectionResult {
+  std::vector<NodeId> seeds;     // final seed set (greedy order prefix)
+  size_t im_evaluations = 0;     // inner IM solves performed
+  double estimated_spread = 0.0; // n·Λ(S)/θ at the final k
+  size_t num_samples = 0;        // RR-sets generated in total
+};
+
+/// Runs bisection-on-k seed minimization on the full graph.
+BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel model,
+                                    NodeId eta, const BisectionOptions& options,
+                                    Rng& rng);
+
+}  // namespace asti

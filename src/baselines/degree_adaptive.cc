@@ -1,0 +1,36 @@
+#include "baselines/degree_adaptive.h"
+
+#include "util/check.h"
+
+namespace asti {
+
+SelectionResult DegreeAdaptive::SelectBatch(const ResidualView& view, Rng& rng) {
+  (void)rng;  // deterministic heuristic
+  ASM_CHECK(view.NumInactive() >= 1);
+  NodeId best_node = kInvalidNode;
+  size_t best_degree = 0;
+  bool first = true;
+  for (NodeId v : *view.inactive_nodes) {
+    size_t degree = 0;
+    if (view.active == nullptr) {
+      degree = graph_->OutDegree(v);
+    } else {
+      for (NodeId u : graph_->OutNeighbors(v)) {
+        if (!view.active->Get(u)) ++degree;
+      }
+    }
+    if (first || degree > best_degree ||
+        (degree == best_degree && v < best_node)) {
+      best_node = v;
+      best_degree = degree;
+      first = false;
+    }
+  }
+  SelectionResult result;
+  result.seeds = {best_node};
+  result.estimated_marginal_gain = static_cast<double>(best_degree + 1);
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace asti

@@ -1,0 +1,28 @@
+// Adaptive highest-degree heuristic — a sanity baseline.
+//
+// Each round seeds the inactive node with the most inactive out-neighbors.
+// No guarantee of any kind; it exists to show in examples/benches how much
+// the principled selectors gain over a cheap structural heuristic.
+
+#pragma once
+
+#include "core/selector.h"
+#include "graph/graph.h"
+
+namespace asti {
+
+/// Residual out-degree greedy selector.
+class DegreeAdaptive : public RoundSelector {
+ public:
+  /// The graph must outlive the selector.
+  explicit DegreeAdaptive(const DirectedGraph& graph) : graph_(&graph) {}
+
+  SelectionResult SelectBatch(const ResidualView& view, Rng& rng) override;
+
+  const char* Name() const override { return "DegreeAdaptive"; }
+
+ private:
+  const DirectedGraph* graph_;
+};
+
+}  // namespace asti

@@ -1,0 +1,41 @@
+#include "baselines/oracle_greedy.h"
+
+#include "util/check.h"
+
+namespace asti {
+
+OracleGreedy::OracleGreedy(const DirectedGraph& graph, DiffusionModel model,
+                           OracleGreedyOptions options)
+    : graph_(&graph), options_(options), estimator_(graph, model) {
+  ASM_CHECK(options_.trials_per_node > 0);
+}
+
+SelectionResult OracleGreedy::SelectBatch(const ResidualView& view, Rng& rng) {
+  ASM_CHECK(view.NumInactive() >= 1);
+  // A zero-filled mask stands in when the caller passes no activity.
+  BitVector empty_mask;
+  const BitVector* active = view.active;
+  if (active == nullptr) {
+    empty_mask = BitVector(graph_->NumNodes());
+    active = &empty_mask;
+  }
+
+  SelectionResult result;
+  double best_gain = -1.0;
+  NodeId best_node = kInvalidNode;
+  for (NodeId v : *view.inactive_nodes) {
+    const double gain = estimator_.EstimateMarginalTruncatedSpread(
+        {v}, *active, view.shortfall, options_.trials_per_node, rng);
+    result.num_samples += options_.trials_per_node;
+    if (gain > best_gain || (gain == best_gain && v < best_node)) {
+      best_gain = gain;
+      best_node = v;
+    }
+  }
+  result.seeds = {best_node};
+  result.estimated_marginal_gain = best_gain;
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace asti

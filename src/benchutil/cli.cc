@@ -1,0 +1,73 @@
+#include "benchutil/cli.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace asti {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    const std::string body = token.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_.insert_or_assign(body.substr(0, eq), body.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_.insert_or_assign(body, std::string(argv[++i]));
+    } else {
+      values_.insert_or_assign(body, std::string("1"));
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string CommandLine::GetString(const std::string& key,
+                                   const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CommandLine::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int64_t CommandLine::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  try {
+    return std::stod(raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  try {
+    const long long value = std::stoll(raw);
+    return value < 0 ? fallback : static_cast<size_t>(value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace asti

@@ -1,0 +1,33 @@
+// Minimal flag parsing for bench/example binaries, plus environment
+// overrides shared by the whole harness (ASM_BENCH_SCALE,
+// ASM_BENCH_REALIZATIONS) so `for b in build/bench/*; do $b; done` can be
+// globally scaled without editing code.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace asti {
+
+/// Parsed --key=value / --key value / --flag command-line options.
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Environment variable as double, or fallback when unset/invalid.
+double EnvDouble(const char* name, double fallback);
+
+/// Environment variable as non-negative integer, or fallback.
+size_t EnvSize(const char* name, size_t fallback);
+
+}  // namespace asti

@@ -1,0 +1,175 @@
+#include "benchutil/experiment.h"
+
+#include <numeric>
+
+#include "baselines/adaptim.h"
+#include "baselines/ateuc.h"
+#include "baselines/bisection_seedmin.h"
+#include "baselines/degree_adaptive.h"
+#include "baselines/oracle_greedy.h"
+#include "benchutil/table.h"
+#include "benchutil/timer.h"
+#include "core/asti.h"
+#include "core/trim.h"
+#include "core/trim_b.h"
+#include "diffusion/world.h"
+#include "util/check.h"
+
+namespace asti {
+
+const char* AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kAsti:
+      return "ASTI";
+    case AlgorithmId::kAsti2:
+      return "ASTI-2";
+    case AlgorithmId::kAsti4:
+      return "ASTI-4";
+    case AlgorithmId::kAsti8:
+      return "ASTI-8";
+    case AlgorithmId::kAdaptIm:
+      return "AdaptIM";
+    case AlgorithmId::kAteuc:
+      return "ATEUC";
+    case AlgorithmId::kDegree:
+      return "DegreeAdaptive";
+    case AlgorithmId::kOracle:
+      return "OracleGreedy";
+    case AlgorithmId::kBisection:
+      return "Bisection";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<RoundSelector> MakeSelector(const DirectedGraph& graph,
+                                            const CellConfig& config) {
+  const DiffusionModel model = config.model;
+  switch (config.algorithm) {
+    case AlgorithmId::kAsti:
+      return std::make_unique<Trim>(graph, model, TrimOptions{config.epsilon});
+    case AlgorithmId::kAsti2:
+      return std::make_unique<TrimB>(graph, model,
+                                     TrimBOptions{config.epsilon, 2});
+    case AlgorithmId::kAsti4:
+      return std::make_unique<TrimB>(graph, model,
+                                     TrimBOptions{config.epsilon, 4});
+    case AlgorithmId::kAsti8:
+      return std::make_unique<TrimB>(graph, model,
+                                     TrimBOptions{config.epsilon, 8});
+    case AlgorithmId::kAdaptIm:
+      return std::make_unique<AdaptIm>(graph, model, AdaptImOptions{config.epsilon});
+    case AlgorithmId::kDegree:
+      return std::make_unique<DegreeAdaptive>(graph);
+    case AlgorithmId::kOracle:
+      return std::make_unique<OracleGreedy>(graph, model);
+    case AlgorithmId::kAteuc:
+    case AlgorithmId::kBisection:
+      break;  // non-adaptive; handled by RunCell directly
+  }
+  ASM_CHECK(false) << "no selector for algorithm";
+  return nullptr;
+}
+
+// Hidden realization for run r — shared across algorithms by construction.
+Realization HiddenRealization(const DirectedGraph& graph, const CellConfig& config,
+                              size_t run) {
+  Rng world_rng(config.seed * 0x9e3779b97f4a7c15ULL + run);
+  return config.model == DiffusionModel::kIndependentCascade
+             ? Realization::SampleIc(graph, world_rng)
+             : Realization::SampleLt(graph, world_rng);
+}
+
+CellResult RunAdaptiveCell(const DirectedGraph& graph, const CellConfig& config) {
+  CellResult result;
+  std::vector<AdaptiveRunTrace> traces;
+  for (size_t run = 0; run < config.realizations; ++run) {
+    AdaptiveWorld world(graph, config.eta, HiddenRealization(graph, config, run));
+    // Selector RNG stream is independent of the hidden world.
+    Rng selector_rng(config.seed * 0xbf58476d1ce4e5b9ULL + run * 131 +
+                     static_cast<uint64_t>(config.algorithm) + 1);
+    std::unique_ptr<RoundSelector> selector = MakeSelector(graph, config);
+    AdaptiveRunTrace trace = RunAdaptivePolicy(world, *selector, selector_rng);
+    result.spreads.push_back(static_cast<double>(trace.total_activated));
+    result.seed_counts.push_back(trace.NumSeeds());
+    traces.push_back(std::move(trace));
+  }
+  result.aggregate = Aggregate(traces);
+  result.always_reached =
+      result.aggregate.runs_reaching_target == result.aggregate.runs;
+  if (config.keep_traces) result.traces = std::move(traces);
+  return result;
+}
+
+// Evaluates a one-shot (non-adaptive) seed set on the shared hidden
+// realizations; `select_seconds` / `num_samples` describe the selection.
+CellResult EvaluateNonAdaptive(const DirectedGraph& graph, const CellConfig& config,
+                               const std::vector<NodeId>& seeds, double select_seconds,
+                               size_t num_samples) {
+  CellResult result;
+  std::vector<AdaptiveRunTrace> traces;
+  ForwardSimulator simulator(graph);
+  for (size_t run = 0; run < config.realizations; ++run) {
+    const Realization hidden = HiddenRealization(graph, config, run);
+    const size_t spread = simulator.Spread(hidden, seeds);
+    AdaptiveRunTrace trace;
+    trace.eta = config.eta;
+    trace.seeds = seeds;
+    trace.total_activated = static_cast<NodeId>(spread);
+    trace.target_reached = spread >= config.eta;
+    trace.seconds = select_seconds;  // selection cost is paid once
+    trace.total_samples = num_samples;
+    result.spreads.push_back(static_cast<double>(spread));
+    result.seed_counts.push_back(seeds.size());
+    traces.push_back(std::move(trace));
+  }
+  result.aggregate = Aggregate(traces);
+  result.always_reached =
+      result.aggregate.runs_reaching_target == result.aggregate.runs;
+  if (config.keep_traces) result.traces = std::move(traces);
+  return result;
+}
+
+CellResult RunAteucCell(const DirectedGraph& graph, const CellConfig& config) {
+  Rng select_rng(config.seed * 0x94d049bb133111ebULL + 17);
+  AteucOptions options;
+  WallTimer select_timer;
+  const AteucResult selection =
+      RunAteuc(graph, config.model, config.eta, options, select_rng);
+  return EvaluateNonAdaptive(graph, config, selection.seeds, select_timer.Seconds(),
+                             selection.num_samples);
+}
+
+CellResult RunBisectionCell(const DirectedGraph& graph, const CellConfig& config) {
+  Rng select_rng(config.seed * 0x94d049bb133111ebULL + 29);
+  BisectionOptions options;
+  WallTimer select_timer;
+  const BisectionResult selection =
+      RunBisectionSeedMin(graph, config.model, config.eta, options, select_rng);
+  return EvaluateNonAdaptive(graph, config, selection.seeds, select_timer.Seconds(),
+                             selection.num_samples);
+}
+
+}  // namespace
+
+CellResult RunCell(const DirectedGraph& graph, const CellConfig& config) {
+  ASM_CHECK(config.realizations >= 1);
+  ASM_CHECK(config.eta >= 1 && config.eta <= graph.NumNodes());
+  if (config.algorithm == AlgorithmId::kAteuc) return RunAteucCell(graph, config);
+  if (config.algorithm == AlgorithmId::kBisection) {
+    return RunBisectionCell(graph, config);
+  }
+  return RunAdaptiveCell(graph, config);
+}
+
+std::string ImprovementRatio(const CellResult& asti, const CellResult& ateuc) {
+  if (!ateuc.always_reached) return "N/A";
+  if (asti.aggregate.mean_seeds <= 0.0) return "N/A";
+  const double ratio =
+      (ateuc.aggregate.mean_seeds - asti.aggregate.mean_seeds) /
+      asti.aggregate.mean_seeds;
+  return FormatDouble(100.0 * ratio, 1) + "%";
+}
+
+}  // namespace asti

@@ -1,0 +1,68 @@
+// Shared experiment runner behind every figure/table harness.
+//
+// One "cell" of the paper's plots is (dataset, model, η, algorithm)
+// averaged over R hidden realizations. RunCell executes exactly that:
+// adaptive algorithms re-run their select-observe loop per realization;
+// ATEUC selects once and is evaluated on the same realizations. The R
+// hidden realizations are derived from the run seed only, so every
+// algorithm faces identical worlds (the paper's §6 protocol).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Algorithms of the paper's evaluation (§6.1) plus the extra baselines.
+enum class AlgorithmId {
+  kAsti,      // ASTI = TRIM (batch 1)
+  kAsti2,     // ASTI-2 = TRIM-B, b = 2
+  kAsti4,     // ASTI-4
+  kAsti8,     // ASTI-8
+  kAdaptIm,   // adaptive IM baseline
+  kAteuc,     // non-adaptive baseline
+  kDegree,    // residual-degree heuristic (extra)
+  kOracle,    // Monte-Carlo oracle greedy (tiny graphs only)
+  kBisection, // non-adaptive bisection-on-k transformation (extra)
+};
+
+/// Display name matching the paper's legends.
+const char* AlgorithmName(AlgorithmId id);
+
+/// One plot cell: fixed dataset/model/η/algorithm over R realizations.
+struct CellConfig {
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  NodeId eta = 1;
+  AlgorithmId algorithm = AlgorithmId::kAsti;
+  size_t realizations = 5;
+  double epsilon = 0.5;        // ε for sampling-based selectors
+  uint64_t seed = 1;           // governs hidden realizations & selector RNG
+  bool keep_traces = false;    // retain full per-round traces (Fig. 10)
+};
+
+/// Aggregated cell outcome.
+struct CellResult {
+  RunAggregate aggregate;
+  std::vector<double> spreads;           // final spread per realization (Fig. 8/9)
+  std::vector<size_t> seed_counts;       // per realization
+  std::vector<AdaptiveRunTrace> traces;  // only if keep_traces
+  /// True iff every realization reached η — Table 3 prints N/A otherwise.
+  bool always_reached = false;
+};
+
+/// Runs one cell on `graph`.
+CellResult RunCell(const DirectedGraph& graph, const CellConfig& config);
+
+/// Improvement ratio of ATEUC over ASTI in seed count: extra seeds ATEUC
+/// selects relative to ASTI (Table 3). Returns "N/A" when ATEUC misses the
+/// threshold on any realization, matching the paper's table.
+std::string ImprovementRatio(const CellResult& asti, const CellResult& ateuc);
+
+}  // namespace asti

@@ -1,0 +1,56 @@
+#include "benchutil/sweep.h"
+
+#include "benchutil/cli.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace asti {
+
+std::vector<double> EtaFractionsFor(DatasetId dataset) {
+  if (dataset == DatasetId::kLiveJournal) {
+    return {0.01, 0.02, 0.03, 0.04, 0.05};  // the paper's tailored small-η grid
+  }
+  return {0.01, 0.05, 0.1, 0.15, 0.2};
+}
+
+std::vector<SweepCell> RunEvaluationSweep(
+    const SweepOptions& options,
+    const std::function<void(const SweepCell&)>& progress) {
+  std::vector<SweepCell> cells;
+  for (DatasetId dataset : options.datasets) {
+    auto graph = MakeSurrogateDataset(dataset, options.scale, options.seed);
+    ASM_CHECK(graph.ok()) << graph.status().ToString();
+    for (double eta_fraction : EtaFractionsFor(dataset)) {
+      const NodeId eta = std::max<NodeId>(
+          1, static_cast<NodeId>(eta_fraction * graph->NumNodes()));
+      for (AlgorithmId algorithm : options.algorithms) {
+        CellConfig config;
+        config.model = options.model;
+        config.eta = eta;
+        config.algorithm = algorithm;
+        config.realizations = options.realizations;
+        config.epsilon = options.epsilon;
+        config.seed = options.seed;
+        config.keep_traces = options.keep_traces;
+        SweepCell cell{dataset, eta_fraction, eta, algorithm, RunCell(*graph, config)};
+        if (progress) progress(cell);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+void ApplyStandardOverrides(int argc, const char* const* argv, SweepOptions& options) {
+  const CommandLine cli(argc, argv);
+  options.scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", options.scale));
+  options.realizations = EnvSize(
+      "ASM_BENCH_REALIZATIONS",
+      static_cast<size_t>(cli.GetInt("realizations",
+                                     static_cast<int64_t>(options.realizations))));
+  options.epsilon = cli.GetDouble("epsilon", options.epsilon);
+  options.seed = static_cast<uint64_t>(
+      cli.GetInt("seed", static_cast<int64_t>(options.seed)));
+}
+
+}  // namespace asti

@@ -1,0 +1,59 @@
+#include "benchutil/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asti {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  ASM_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  ASM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = header_.size() - 1;
+  for (size_t w : widths) total += w + 1;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FormatCount(double value) {
+  std::ostringstream out;
+  out << std::setprecision(3);
+  if (value >= 1e6) {
+    out << value / 1e6 << "M";
+  } else if (value >= 1e3) {
+    out << value / 1e3 << "K";
+  } else {
+    out << value;
+  }
+  return out.str();
+}
+
+}  // namespace asti

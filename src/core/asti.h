@@ -1,0 +1,28 @@
+// ASTI — the Adaptive Seed minimization via Truncated Influence framework
+// (Algorithm 1).
+//
+// Drives any RoundSelector against an AdaptiveWorld: select a batch on the
+// residual graph, observe the actual propagation, update the residual
+// state, repeat until at least η nodes are active. With TRIM as the
+// selector the policy is a (ln η + 1)²/((1 − 1/e)(1 − ε))-approximation in
+// expectation (Theorem 3.7); with TRIM-B the ρ_b factor is added
+// (Theorem 4.2).
+
+#pragma once
+
+#include "core/selector.h"
+#include "core/trace.h"
+#include "diffusion/world.h"
+
+namespace asti {
+
+/// Runs the adaptive select-observe loop to completion and returns the
+/// full trace. The world must start with Shortfall() ≥ 1.
+///
+/// Termination: every round seeds at least one inactive node, which
+/// activates itself, so the loop finishes within η rounds (⌈η/b⌉ for
+/// batched selectors).
+AdaptiveRunTrace RunAdaptivePolicy(AdaptiveWorld& world, RoundSelector& selector,
+                                   Rng& rng);
+
+}  // namespace asti

@@ -1,0 +1,43 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace asti {
+
+RunAggregate Aggregate(const std::vector<AdaptiveRunTrace>& traces) {
+  RunAggregate aggregate;
+  aggregate.runs = traces.size();
+  if (traces.empty()) return aggregate;
+  double min_spread = static_cast<double>(traces.front().total_activated);
+  double max_spread = min_spread;
+  for (const AdaptiveRunTrace& trace : traces) {
+    aggregate.mean_seeds += static_cast<double>(trace.NumSeeds());
+    aggregate.mean_seconds += trace.seconds;
+    const double spread = static_cast<double>(trace.total_activated);
+    aggregate.mean_spread += spread;
+    min_spread = std::min(min_spread, spread);
+    max_spread = std::max(max_spread, spread);
+    if (trace.target_reached) ++aggregate.runs_reaching_target;
+  }
+  const double r = static_cast<double>(traces.size());
+  aggregate.mean_seeds /= r;
+  aggregate.mean_seconds /= r;
+  aggregate.mean_spread /= r;
+  aggregate.min_spread = min_spread;
+  aggregate.max_spread = max_spread;
+  return aggregate;
+}
+
+std::string Summarize(const RunAggregate& aggregate) {
+  std::ostringstream out;
+  out.precision(3);
+  out << "seeds=" << aggregate.mean_seeds << " time=" << aggregate.mean_seconds
+      << "s spread=" << aggregate.mean_spread << " reached="
+      << aggregate.runs_reaching_target << "/" << aggregate.runs;
+  return out.str();
+}
+
+}  // namespace asti

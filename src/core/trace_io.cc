@@ -1,0 +1,97 @@
+#include "core/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace asti {
+
+std::string SerializeTraces(const std::vector<AdaptiveRunTrace>& traces) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const AdaptiveRunTrace& trace : traces) {
+    out << "trace " << trace.eta << ' ' << trace.total_activated << ' '
+        << (trace.target_reached ? 1 : 0) << ' ' << trace.seconds << ' '
+        << trace.total_samples << '\n';
+    for (const RoundRecord& round : trace.rounds) {
+      out << "round " << round.round << ' ' << round.shortfall_before << ' '
+          << round.newly_activated << ' ' << round.truncated_gain << ' '
+          << round.estimated_gain << ' ' << round.num_samples << ' '
+          << round.seconds;
+      for (NodeId seed : round.seeds) out << ' ' << seed;
+      out << '\n';
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<AdaptiveRunTrace>> ParseTraces(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<AdaptiveRunTrace> traces;
+  AdaptiveRunTrace current;
+  bool in_trace = false;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream tokens(line);
+    std::string tag;
+    tokens >> tag;
+    const auto malformed = [&](const char* why) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) + ": " + why);
+    };
+    if (tag == "trace") {
+      if (in_trace) return malformed("nested trace");
+      current = AdaptiveRunTrace{};
+      int reached = 0;
+      if (!(tokens >> current.eta >> current.total_activated >> reached >>
+            current.seconds >> current.total_samples)) {
+        return malformed("bad trace header");
+      }
+      current.target_reached = reached != 0;
+      in_trace = true;
+    } else if (tag == "round") {
+      if (!in_trace) return malformed("round outside trace");
+      RoundRecord round;
+      if (!(tokens >> round.round >> round.shortfall_before >> round.newly_activated >>
+            round.truncated_gain >> round.estimated_gain >> round.num_samples >>
+            round.seconds)) {
+        return malformed("bad round record");
+      }
+      NodeId seed = 0;
+      while (tokens >> seed) {
+        round.seeds.push_back(seed);
+        current.seeds.push_back(seed);
+      }
+      if (round.seeds.empty()) return malformed("round without seeds");
+      current.rounds.push_back(std::move(round));
+    } else if (tag == "end") {
+      if (!in_trace) return malformed("end outside trace");
+      traces.push_back(std::move(current));
+      in_trace = false;
+    } else {
+      return malformed("unknown tag");
+    }
+  }
+  if (in_trace) return Status::InvalidArgument("unterminated trace");
+  return traces;
+}
+
+Status SaveTraces(const std::vector<AdaptiveRunTrace>& traces, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << SerializeTraces(traces);
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<std::vector<AdaptiveRunTrace>> LoadTraces(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTraces(buffer.str());
+}
+
+}  // namespace asti

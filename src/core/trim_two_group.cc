@@ -1,0 +1,69 @@
+#include "core/trim_two_group.h"
+
+#include <cmath>
+
+#include "stats/concentration.h"
+#include "util/check.h"
+
+namespace asti {
+
+TrimTwoGroup::TrimTwoGroup(const DirectedGraph& graph, DiffusionModel model,
+                           TrimOptions options)
+    : graph_(&graph),
+      options_(options),
+      sampler_(graph, model),
+      derive_(graph.NumNodes()),
+      validate_(graph.NumNodes()) {
+  ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
+}
+
+SelectionResult TrimTwoGroup::SelectBatch(const ResidualView& view, Rng& rng) {
+  const NodeId ni = view.NumInactive();
+  const NodeId eta_i = view.shortfall;
+  ASM_CHECK(eta_i >= 1 && eta_i <= ni);
+
+  // The same doubling schedule as one-group TRIM; each of R1/R2 receives
+  // half of every generation step. The validation bound needs no ln n_i
+  // union term (v* is independent of R2), so a1 == a2 here — the upside
+  // OPIM-C buys with the split.
+  const TrimSchedule schedule = ComputeTrimSchedule(ni, eta_i, options_.epsilon);
+  const RootSizeSampler root_size(ni, eta_i, options_.rounding);
+
+  derive_.Clear();
+  validate_.Clear();
+  auto generate = [&](size_t per_group) {
+    for (size_t i = 0; i < per_group; ++i) {
+      sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
+                        derive_, rng);
+      sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
+                        validate_, rng);
+    }
+  };
+  generate((schedule.theta_zero + 1) / 2);
+
+  SelectionResult result;
+  for (size_t t = 1; t <= schedule.max_iterations; ++t) {
+    const NodeId v_star = derive_.ArgMaxCoverage();
+    const double derive_coverage = static_cast<double>(derive_.Coverage(v_star));
+    const double validate_coverage =
+        static_cast<double>(validate_.Coverage(v_star));
+    const double lower = CoverageLowerBound(validate_coverage, schedule.a2);
+    const double upper = CoverageUpperBound(derive_coverage, schedule.a2);
+    result.iterations = t;
+    if ((upper > 0.0 && lower / upper >= 1.0 - schedule.eps_hat) ||
+        t == schedule.max_iterations) {
+      result.seeds = {v_star};
+      // Report the validation-group estimate (unbiased for the chosen node).
+      result.estimated_marginal_gain =
+          static_cast<double>(eta_i) * validate_coverage /
+          static_cast<double>(validate_.NumSets());
+      result.num_samples = derive_.NumSets() + validate_.NumSets();
+      return result;
+    }
+    generate(derive_.NumSets());  // double both groups
+  }
+  ASM_CHECK(false) << "unreachable: TrimTwoGroup always returns by iteration T";
+  return result;
+}
+
+}  // namespace asti

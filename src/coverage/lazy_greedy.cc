@@ -1,0 +1,89 @@
+#include "coverage/lazy_greedy.h"
+
+#include <queue>
+
+#include "util/bit_vector.h"
+#include "util/check.h"
+
+namespace asti {
+
+namespace {
+
+struct HeapEntry {
+  uint32_t gain;
+  NodeId node;
+  uint32_t round_evaluated;  // lazy-evaluation timestamp
+
+  bool operator<(const HeapEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;  // ties: prefer the lowest node id
+  }
+};
+
+}  // namespace
+
+MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+                                        const std::vector<NodeId>* candidates) {
+  ASM_CHECK(budget >= 1);
+  const NodeId n = collection.num_nodes();
+  const size_t num_sets = collection.NumSets();
+  MaxCoverageResult result;
+
+  // Inverted index node -> set ids (counting sort over the pool).
+  std::vector<size_t> index_offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] = collection.Coverage(v);
+  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
+  std::vector<uint32_t> index_sets(collection.TotalEntries());
+  {
+    std::vector<size_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
+    for (size_t s = 0; s < num_sets; ++s) {
+      for (NodeId v : collection.Set(s)) {
+        index_sets[cursor[v]++] = static_cast<uint32_t>(s);
+      }
+    }
+  }
+
+  BitVector covered(num_sets);
+  std::priority_queue<HeapEntry> heap;
+  if (candidates == nullptr) {
+    for (NodeId v = 0; v < n; ++v) heap.push({collection.Coverage(v), v, 0});
+  } else {
+    for (NodeId v : *candidates) heap.push({collection.Coverage(v), v, 0});
+  }
+
+  const size_t pool_size =
+      candidates == nullptr ? static_cast<size_t>(n) : candidates->size();
+  const size_t picks = std::min<size_t>(budget, pool_size);
+  uint32_t round = 0;
+  auto fresh_gain = [&](NodeId v) {
+    uint32_t gain = 0;
+    for (size_t i = index_offsets[v]; i < index_offsets[v + 1]; ++i) {
+      if (!covered.Get(index_sets[i])) ++gain;
+    }
+    return gain;
+  };
+
+  while (result.selected.size() < picks && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (top.round_evaluated != round) {
+      // Stale cached gain: recompute and reinsert. Submodularity makes the
+      // cached value an upper bound, so a re-evaluated top that stays on
+      // top is globally optimal.
+      top.gain = fresh_gain(top.node);
+      top.round_evaluated = round;
+      heap.push(top);
+      continue;
+    }
+    result.selected.push_back(top.node);
+    result.marginal_coverage.push_back(top.gain);
+    result.covered_sets += top.gain;
+    for (size_t i = index_offsets[top.node]; i < index_offsets[top.node + 1]; ++i) {
+      covered.Set(index_sets[i]);
+    }
+    ++round;
+  }
+  return result;
+}
+
+}  // namespace asti

@@ -1,0 +1,115 @@
+#include "coverage/max_coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_vector.h"
+#include "util/check.h"
+
+namespace asti {
+
+MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+                                    const std::vector<NodeId>* candidates) {
+  ASM_CHECK(budget >= 1);
+  const NodeId n = collection.num_nodes();
+  const size_t num_sets = collection.NumSets();
+  MaxCoverageResult result;
+
+  // Inverted index node -> set ids, built by counting sort over the pool.
+  std::vector<size_t> index_offsets(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] = collection.Coverage(v);
+  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
+  std::vector<uint32_t> index_sets(collection.TotalEntries());
+  {
+    std::vector<size_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
+    for (size_t s = 0; s < num_sets; ++s) {
+      for (NodeId v : collection.Set(s)) {
+        index_sets[cursor[v]++] = static_cast<uint32_t>(s);
+      }
+    }
+  }
+
+  std::vector<uint32_t> gain(collection.CoverageCounts());
+  BitVector covered(num_sets);
+  BitVector taken(n);
+  const size_t pool_size =
+      candidates == nullptr ? static_cast<size_t>(n) : candidates->size();
+  const size_t picks = std::min<size_t>(budget, pool_size);
+  for (size_t pick = 0; pick < picks; ++pick) {
+    NodeId best = kInvalidNode;
+    auto consider = [&](NodeId v) {
+      if (taken.Get(v)) return;
+      if (best == kInvalidNode || gain[v] > gain[best] ||
+          (gain[v] == gain[best] && v < best)) {
+        best = v;
+      }
+    };
+    if (candidates == nullptr) {
+      for (NodeId v = 0; v < n; ++v) consider(v);
+    } else {
+      for (NodeId v : *candidates) consider(v);
+    }
+    ASM_CHECK(best != kInvalidNode);
+    taken.Set(best);
+    result.selected.push_back(best);
+    result.marginal_coverage.push_back(gain[best]);
+    result.covered_sets += gain[best];
+    // Mark best's uncovered sets covered; members of those sets lose gain.
+    for (size_t i = index_offsets[best]; i < index_offsets[best + 1]; ++i) {
+      const uint32_t s = index_sets[i];
+      if (covered.Get(s)) continue;
+      covered.Set(s);
+      for (NodeId u : collection.Set(s)) --gain[u];
+    }
+    ASM_DCHECK(gain[best] == 0);
+  }
+  return result;
+}
+
+double GreedyCoverageRatio(NodeId budget) {
+  ASM_CHECK(budget >= 1);
+  if (budget == 1) return 1.0;
+  const double b = static_cast<double>(budget);
+  return 1.0 - std::pow(1.0 - 1.0 / b, b);
+}
+
+namespace {
+
+void EnumerateSubsets(const RrCollection& collection, NodeId budget, NodeId first,
+                      std::vector<NodeId>& current, MaxCoverageResult& best) {
+  if (current.size() == budget) {
+    BitVector covered(collection.NumSets());
+    uint32_t count = 0;
+    for (size_t s = 0; s < collection.NumSets(); ++s) {
+      for (NodeId v : collection.Set(s)) {
+        if (std::find(current.begin(), current.end(), v) != current.end()) {
+          covered.Set(s);
+          ++count;
+          break;
+        }
+      }
+    }
+    if (count > best.covered_sets || best.selected.empty()) {
+      best.covered_sets = count;
+      best.selected = current;
+    }
+    return;
+  }
+  for (NodeId v = first; v < collection.num_nodes(); ++v) {
+    current.push_back(v);
+    EnumerateSubsets(collection, budget, v + 1, current, best);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget) {
+  ASM_CHECK(budget >= 1 && budget <= collection.num_nodes());
+  MaxCoverageResult best;
+  std::vector<NodeId> current;
+  EnumerateSubsets(collection, budget, 0, current, best);
+  return best;
+}
+
+}  // namespace asti

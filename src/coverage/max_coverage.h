@@ -1,0 +1,39 @@
+// Maximum-coverage solvers over an RR collection.
+//
+// TRIM-B's per-round subproblem (Alg. 3 line 8) is budgeted maximum
+// coverage: pick b nodes covering the most stored sets. GreedyMaxCoverage
+// is the classical linear-time greedy with approximation factor
+// ρ_b = 1 − (1 − 1/b)^b; ExactMaxCoverage is exponential-time brute force
+// used by tests to validate that factor.
+
+#pragma once
+
+#include <vector>
+
+#include "sampling/rr_collection.h"
+
+namespace asti {
+
+/// Result of a budgeted max-coverage computation.
+struct MaxCoverageResult {
+  std::vector<NodeId> selected;             // chosen nodes, pick order
+  uint32_t covered_sets = 0;                // |sets hit by selected|
+  std::vector<uint32_t> marginal_coverage;  // newly covered sets per pick
+};
+
+/// Greedy max coverage with budget b (ties: lowest node id). Runs in
+/// O(Σ|R| + b·n). Picks fewer than b nodes only if b exceeds the candidate
+/// pool. When `candidates` is non-null, only those nodes may be picked —
+/// TRIM-B passes the residual node list so zero-gain filler picks can never
+/// land on an already-active node.
+MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+                                    const std::vector<NodeId>* candidates = nullptr);
+
+/// ρ_b = 1 − (1 − 1/b)^b, the greedy guarantee used throughout TRIM-B.
+double GreedyCoverageRatio(NodeId budget);
+
+/// Exhaustive optimum over all size-`budget` subsets of [0, n).
+/// Exponential; only for small test instances (n choose b ≤ ~1e6).
+MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget);
+
+}  // namespace asti

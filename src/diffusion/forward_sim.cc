@@ -1,0 +1,59 @@
+#include "diffusion/forward_sim.h"
+
+namespace asti {
+
+template <bool kResidual>
+std::vector<NodeId> ForwardSimulator::Run(const Realization& realization,
+                                          const std::vector<NodeId>& seeds,
+                                          const BitVector* active) {
+  ASM_CHECK(&realization.graph() == graph_) << "realization belongs to another graph";
+  visited_.Reset();
+  std::vector<NodeId> activated;
+  frontier_.clear();
+  for (NodeId s : seeds) {
+    ASM_DCHECK(s < graph_->NumNodes());
+    if constexpr (kResidual) {
+      if (active->Get(s)) continue;
+    }
+    if (visited_.MarkVisited(s)) {
+      activated.push_back(s);
+      frontier_.push_back(s);
+    }
+  }
+  // BFS over live edges.
+  for (size_t head = 0; head < frontier_.size(); ++head) {
+    const NodeId u = frontier_[head];
+    const EdgeId first = graph_->FirstOutEdge(u);
+    auto neighbors = graph_->OutNeighbors(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId v = neighbors[i];
+      if constexpr (kResidual) {
+        if (active->Get(v)) continue;
+      }
+      if (visited_.Visited(v)) continue;
+      if (!realization.IsLive(static_cast<EdgeId>(first + i))) continue;
+      visited_.MarkVisited(v);
+      activated.push_back(v);
+      frontier_.push_back(v);
+    }
+  }
+  return activated;
+}
+
+std::vector<NodeId> ForwardSimulator::Propagate(const Realization& realization,
+                                                const std::vector<NodeId>& seeds) {
+  return Run<false>(realization, seeds, nullptr);
+}
+
+std::vector<NodeId> ForwardSimulator::PropagateResidual(const Realization& realization,
+                                                        const std::vector<NodeId>& seeds,
+                                                        const BitVector& active) {
+  return Run<true>(realization, seeds, &active);
+}
+
+size_t ForwardSimulator::Spread(const Realization& realization,
+                                const std::vector<NodeId>& seeds) {
+  return Propagate(realization, seeds).size();
+}
+
+}  // namespace asti

@@ -1,0 +1,23 @@
+// Diffusion model selector shared across samplers and simulators.
+
+#pragma once
+
+namespace asti {
+
+/// Propagation models supported throughout the library (§2.1 of the paper).
+enum class DiffusionModel {
+  kIndependentCascade,
+  kLinearThreshold,
+};
+
+inline const char* DiffusionModelName(DiffusionModel model) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      return "IC";
+    case DiffusionModel::kLinearThreshold:
+      return "LT";
+  }
+  return "?";
+}
+
+}  // namespace asti

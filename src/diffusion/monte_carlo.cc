@@ -1,0 +1,51 @@
+#include "diffusion/monte_carlo.h"
+
+#include <algorithm>
+
+namespace asti {
+
+Realization MonteCarloEstimator::SampleRealization(Rng& rng) const {
+  return model_ == DiffusionModel::kIndependentCascade
+             ? Realization::SampleIc(*graph_, rng)
+             : Realization::SampleLt(*graph_, rng);
+}
+
+double MonteCarloEstimator::EstimateSpread(const std::vector<NodeId>& seeds, size_t trials,
+                                           Rng& rng) {
+  ASM_CHECK(trials > 0);
+  double total = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    const Realization realization = SampleRealization(rng);
+    total += static_cast<double>(simulator_.Spread(realization, seeds));
+  }
+  return total / static_cast<double>(trials);
+}
+
+double MonteCarloEstimator::EstimateTruncatedSpread(const std::vector<NodeId>& seeds,
+                                                    NodeId eta, size_t trials, Rng& rng) {
+  ASM_CHECK(trials > 0);
+  double total = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    const Realization realization = SampleRealization(rng);
+    const size_t spread = simulator_.Spread(realization, seeds);
+    total += static_cast<double>(std::min<size_t>(spread, eta));
+  }
+  return total / static_cast<double>(trials);
+}
+
+double MonteCarloEstimator::EstimateMarginalTruncatedSpread(const std::vector<NodeId>& seeds,
+                                                            const BitVector& active,
+                                                            NodeId shortfall, size_t trials,
+                                                            Rng& rng) {
+  ASM_CHECK(trials > 0);
+  double total = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    const Realization realization = SampleRealization(rng);
+    const size_t spread =
+        simulator_.PropagateResidual(realization, seeds, active).size();
+    total += static_cast<double>(std::min<size_t>(spread, shortfall));
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace asti

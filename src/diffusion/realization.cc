@@ -1,0 +1,65 @@
+#include "diffusion/realization.h"
+
+namespace asti {
+
+Status ValidateLtCompatible(const DirectedGraph& graph) {
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const double sum = graph.InProbabilitySum(v);
+    if (sum > 1.0 + 1e-9) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(v) + " has in-probability sum " +
+          std::to_string(sum) + " > 1; the LT model is undefined on this graph");
+    }
+  }
+  return Status::OK();
+}
+
+Realization Realization::SampleIc(const DirectedGraph& graph, Rng& rng) {
+  Realization realization(graph, DiffusionModel::kIndependentCascade);
+  const EdgeId m = graph.NumEdges();
+  realization.ic_live_ = BitVector(m);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const EdgeId first = graph.FirstOutEdge(u);
+    auto probs = graph.OutProbabilities(u);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      if (rng.NextBernoulli(probs[i])) realization.ic_live_.Set(first + i);
+    }
+  }
+  return realization;
+}
+
+Realization Realization::SampleLt(const DirectedGraph& graph, Rng& rng) {
+  Realization realization(graph, DiffusionModel::kLinearThreshold);
+  const NodeId n = graph.NumNodes();
+  realization.lt_chosen_edge_.assign(n, kInvalidEdge);
+  realization.lt_chosen_source_.assign(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    auto sources = graph.InNeighbors(v);
+    auto probs = graph.InProbabilities(v);
+    auto edge_ids = graph.InEdgeIds(v);
+    if (sources.empty()) continue;
+    ASM_DCHECK(graph.InProbabilitySum(v) <= 1.0 + 1e-9)
+        << "LT requires in-probabilities to sum to <= 1 at node " << v;
+    double x = rng.NextDouble();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (x < probs[i]) {
+        realization.lt_chosen_edge_[v] = edge_ids[i];
+        realization.lt_chosen_source_[v] = sources[i];
+        break;
+      }
+      x -= probs[i];
+    }
+  }
+  return realization;
+}
+
+size_t Realization::CountLiveEdges() const {
+  if (model_ == DiffusionModel::kIndependentCascade) return ic_live_.Count();
+  size_t count = 0;
+  for (EdgeId e : lt_chosen_edge_) {
+    if (e != kInvalidEdge) ++count;
+  }
+  return count;
+}
+
+}  // namespace asti

@@ -1,0 +1,71 @@
+// Live-edge realizations (§2.1).
+//
+// IC: every edge flips an independent coin with its propagation probability;
+// a realization is the set of live edges.
+// LT: the standard live-edge equivalence — every node independently keeps at
+// most one incoming edge, edge (u, v) with probability p(u, v) and none with
+// probability 1 - Σ p(·, v). Influence spread distributions are identical to
+// the threshold-based process (Kempe et al. 2003).
+//
+// A Realization fixes all randomness of one propagation world; forward
+// simulation on it is deterministic.
+
+#pragma once
+
+#include <vector>
+
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Checks the LT precondition Σ in-probabilities ≤ 1 (+tolerance) for every
+/// node; call once before running LT campaigns on hand-built graphs.
+/// Weighted-cascade weights satisfy it by construction.
+Status ValidateLtCompatible(const DirectedGraph& graph);
+
+/// One sampled world. Copyable; sized O(m) for IC and O(n) for LT.
+class Realization {
+ public:
+  /// Samples a full IC realization (one coin per edge).
+  static Realization SampleIc(const DirectedGraph& graph, Rng& rng);
+
+  /// Samples a full LT realization (at most one live in-edge per node).
+  /// Requires Σ in-probabilities ≤ 1 + 1e-9 for every node.
+  static Realization SampleLt(const DirectedGraph& graph, Rng& rng);
+
+  DiffusionModel model() const { return model_; }
+  const DirectedGraph& graph() const { return *graph_; }
+
+  /// Whether forward edge e = (u, v) is live. For LT, an edge is live iff it
+  /// is v's chosen in-edge.
+  bool IsLive(EdgeId e) const {
+    if (model_ == DiffusionModel::kIndependentCascade) return ic_live_.Get(e);
+    return lt_chosen_edge_[graph_->EdgeTarget(e)] == e;
+  }
+
+  /// LT only: the chosen in-edge's source for v, or kInvalidNode.
+  NodeId ChosenSource(NodeId v) const {
+    ASM_DCHECK(model_ == DiffusionModel::kLinearThreshold);
+    const EdgeId e = lt_chosen_edge_[v];
+    return e == kInvalidEdge ? kInvalidNode : lt_chosen_source_[v];
+  }
+
+  /// Number of live edges (testing / statistics).
+  size_t CountLiveEdges() const;
+
+ private:
+  Realization(const DirectedGraph& graph, DiffusionModel model)
+      : graph_(&graph), model_(model) {}
+
+  const DirectedGraph* graph_;
+  DiffusionModel model_;
+  BitVector ic_live_;                    // IC: live flag per forward EdgeId
+  std::vector<EdgeId> lt_chosen_edge_;   // LT: chosen forward EdgeId per node
+  std::vector<NodeId> lt_chosen_source_;  // LT: source of that edge per node
+};
+
+}  // namespace asti

@@ -1,0 +1,51 @@
+#include "diffusion/spread_distribution.h"
+
+#include <algorithm>
+
+#include "diffusion/realization.h"
+#include "util/check.h"
+
+namespace asti {
+
+SpreadDistribution::SpreadDistribution(const DirectedGraph& graph, DiffusionModel model,
+                                       const std::vector<NodeId>& seeds, size_t trials,
+                                       Rng& rng) {
+  ASM_CHECK(trials >= 1);
+  samples_.reserve(trials);
+  ForwardSimulator simulator(graph);
+  for (size_t t = 0; t < trials; ++t) {
+    const Realization realization = model == DiffusionModel::kIndependentCascade
+                                        ? Realization::SampleIc(graph, rng)
+                                        : Realization::SampleLt(graph, rng);
+    samples_.push_back(static_cast<double>(simulator.Spread(realization, seeds)));
+  }
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double SpreadDistribution::Mean() const {
+  double total = 0.0;
+  for (double sample : samples_) total += sample;
+  return total / static_cast<double>(samples_.size());
+}
+
+double SpreadDistribution::Quantile(double q) const {
+  ASM_CHECK(q >= 0.0 && q <= 1.0);
+  const size_t last = samples_.size() - 1;
+  const size_t rank = static_cast<size_t>(q * static_cast<double>(last) + 0.5);
+  return samples_[std::min(rank, last)];
+}
+
+double SpreadDistribution::MissProbability(double threshold) const {
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double SpreadDistribution::OvershootProbability(double threshold, double factor) const {
+  const double cut = factor * threshold;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), cut);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+}  // namespace asti

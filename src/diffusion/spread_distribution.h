@@ -1,0 +1,48 @@
+// Empirical spread distributions — the reliability lens of Figure 8.
+//
+// For a fixed seed set, the realized spread I_Φ(S) is a random variable;
+// non-adaptive selections live or die by its tail mass below η. This
+// module estimates the distribution by Monte Carlo and exposes the
+// quantities the evaluation cares about: quantiles, Pr[I < η], and
+// overshoot mass.
+
+#pragma once
+
+#include <vector>
+
+#include "diffusion/forward_sim.h"
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Monte-Carlo sample of a seed set's spread distribution.
+class SpreadDistribution {
+ public:
+  /// Simulates `trials` fresh realizations of `seeds` on `graph`.
+  SpreadDistribution(const DirectedGraph& graph, DiffusionModel model,
+                     const std::vector<NodeId>& seeds, size_t trials, Rng& rng);
+
+  size_t num_trials() const { return samples_.size(); }
+
+  /// Sample mean of the spread.
+  double Mean() const;
+
+  /// q-quantile for q in [0, 1] (nearest-rank on the sorted sample).
+  double Quantile(double q) const;
+
+  /// Fraction of realizations with spread < threshold (the miss rate).
+  double MissProbability(double threshold) const;
+
+  /// Fraction of realizations with spread > factor·threshold (overshoot).
+  double OvershootProbability(double threshold, double factor) const;
+
+  /// Sorted raw samples (ascending).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace asti

@@ -1,0 +1,76 @@
+#include "diffusion/topic_model.h"
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+
+namespace asti {
+
+TopicProfile::TopicProfile(const DirectedGraph& graph, uint32_t num_topics)
+    : graph_(&graph), num_topics_(num_topics) {
+  ASM_CHECK(num_topics >= 1);
+  probabilities_.assign(static_cast<size_t>(graph.NumEdges()) * num_topics, 0.0);
+}
+
+TopicProfile MakeRandomTopicProfile(const DirectedGraph& graph, uint32_t num_topics,
+                                    Rng& rng) {
+  TopicProfile profile(graph, num_topics);
+  // One independent stream per topic keeps topics distinguishable and the
+  // construction deterministic given rng's state.
+  std::vector<Rng> topic_streams;
+  topic_streams.reserve(num_topics);
+  for (uint32_t t = 0; t < num_topics; ++t) topic_streams.push_back(rng.Split());
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const EdgeId first = graph.FirstOutEdge(u);
+    auto probs = graph.OutProbabilities(u);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      for (uint32_t t = 0; t < num_topics; ++t) {
+        const double affinity = topic_streams[t].NextDouble();
+        profile.SetProbability(first + static_cast<EdgeId>(i), t,
+                               probs[i] * affinity);
+      }
+    }
+  }
+  return profile;
+}
+
+Status ValidateMixture(const TopicProfile& profile, const TopicMixture& mixture) {
+  if (mixture.size() != profile.num_topics()) {
+    return Status::InvalidArgument("mixture has " + std::to_string(mixture.size()) +
+                                   " entries for " +
+                                   std::to_string(profile.num_topics()) + " topics");
+  }
+  double total = 0.0;
+  for (double gamma : mixture) {
+    if (gamma < 0.0) return Status::InvalidArgument("negative mixture weight");
+    total += gamma;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("mixture sums to " + std::to_string(total));
+  }
+  return Status::OK();
+}
+
+StatusOr<DirectedGraph> BuildCampaignGraph(const TopicProfile& profile,
+                                           const TopicMixture& mixture) {
+  ASM_RETURN_NOT_OK(ValidateMixture(profile, mixture));
+  const DirectedGraph& graph = profile.graph();
+  GraphBuilder builder(graph.NumNodes());
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const EdgeId first = graph.FirstOutEdge(u);
+    auto neighbors = graph.OutNeighbors(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const EdgeId edge = first + static_cast<EdgeId>(i);
+      double p = 0.0;
+      for (uint32_t t = 0; t < profile.num_topics(); ++t) {
+        p += mixture[t] * profile.Probability(edge, t);
+      }
+      if (p > 0.0) {
+        ASM_RETURN_NOT_OK(builder.AddEdge(u, neighbors[i], std::min(p, 1.0)));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace asti

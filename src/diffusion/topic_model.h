@@ -1,0 +1,68 @@
+// Topic-aware diffusion (Barbieri et al. 2012), the extension the paper
+// names in §2 ("our algorithms can be easily extended to ... topic-aware
+// models").
+//
+// In the topic-aware independent cascade (TIC) model every edge carries a
+// per-topic propagation probability and an item (campaign) is a mixture
+// over topics; the campaign-specific edge probability is the
+// mixture-weighted average. Since the result is plain IC on a reweighted
+// graph, the entire ASTI stack (mRR sampling, TRIM, the adaptive loop)
+// applies unchanged — BuildCampaignGraph is the whole bridge.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Per-edge, per-topic propagation probabilities. Probabilities are
+/// indexed [edge * num_topics + topic], parallel to forward EdgeIds.
+class TopicProfile {
+ public:
+  /// Creates an empty profile for `num_topics` topics over `graph`.
+  TopicProfile(const DirectedGraph& graph, uint32_t num_topics);
+
+  uint32_t num_topics() const { return num_topics_; }
+  const DirectedGraph& graph() const { return *graph_; }
+
+  double Probability(EdgeId edge, uint32_t topic) const {
+    ASM_DCHECK(edge < graph_->NumEdges() && topic < num_topics_);
+    return probabilities_[static_cast<size_t>(edge) * num_topics_ + topic];
+  }
+
+  void SetProbability(EdgeId edge, uint32_t topic, double p) {
+    ASM_CHECK(edge < graph_->NumEdges() && topic < num_topics_);
+    ASM_CHECK(p >= 0.0 && p <= 1.0);
+    probabilities_[static_cast<size_t>(edge) * num_topics_ + topic] = p;
+  }
+
+ private:
+  const DirectedGraph* graph_;
+  uint32_t num_topics_;
+  std::vector<double> probabilities_;
+};
+
+/// A campaign's topic mixture γ (non-negative, sums to 1).
+using TopicMixture = std::vector<double>;
+
+/// Random profile: per topic, each edge's base probability is scaled by an
+/// independent affinity factor in [0, 1]; topic t's affinities are drawn
+/// from that topic's own stream so topics differ. Base probabilities come
+/// from the underlying graph (e.g. weighted cascade).
+TopicProfile MakeRandomTopicProfile(const DirectedGraph& graph, uint32_t num_topics,
+                                    Rng& rng);
+
+/// Validates a mixture for a profile (size, non-negativity, sums to ~1).
+Status ValidateMixture(const TopicProfile& profile, const TopicMixture& mixture);
+
+/// Builds the campaign-specific IC graph: p(e) = Σ_t γ_t · p_t(e), with
+/// zero-probability edges dropped. The returned graph plugs into the
+/// ordinary ASTI/TRIM stack.
+StatusOr<DirectedGraph> BuildCampaignGraph(const TopicProfile& profile,
+                                           const TopicMixture& mixture);
+
+}  // namespace asti

@@ -1,0 +1,48 @@
+#include "diffusion/world.h"
+
+#include <numeric>
+
+namespace asti {
+
+AdaptiveWorld::AdaptiveWorld(const DirectedGraph& graph, DiffusionModel model, NodeId eta,
+                             Rng& rng)
+    : AdaptiveWorld(graph, eta,
+                    model == DiffusionModel::kIndependentCascade
+                        ? Realization::SampleIc(graph, rng)
+                        : Realization::SampleLt(graph, rng)) {}
+
+AdaptiveWorld::AdaptiveWorld(const DirectedGraph& graph, NodeId eta,
+                             Realization realization)
+    : graph_(&graph),
+      realization_(std::move(realization)),
+      simulator_(graph),
+      eta_(eta),
+      active_(graph.NumNodes()),
+      inactive_nodes_(graph.NumNodes()),
+      inactive_position_(graph.NumNodes()) {
+  ASM_CHECK(eta >= 1 && eta <= graph.NumNodes()) << "eta must lie in [1, n]";
+  ASM_CHECK(&realization_.graph() == &graph);
+  std::iota(inactive_nodes_.begin(), inactive_nodes_.end(), 0);
+  std::iota(inactive_position_.begin(), inactive_position_.end(), 0);
+}
+
+void AdaptiveWorld::MarkActive(NodeId v) {
+  ASM_DCHECK(!active_.Get(v));
+  active_.Set(v);
+  ++num_active_;
+  // Swap-remove from the inactive list, keeping positions consistent.
+  const uint32_t pos = inactive_position_[v];
+  const NodeId last = inactive_nodes_.back();
+  inactive_nodes_[pos] = last;
+  inactive_position_[last] = pos;
+  inactive_nodes_.pop_back();
+}
+
+std::vector<NodeId> AdaptiveWorld::Observe(const std::vector<NodeId>& seeds) {
+  std::vector<NodeId> newly_active =
+      simulator_.PropagateResidual(realization_, seeds, active_);
+  for (NodeId v : newly_active) MarkActive(v);
+  return newly_active;
+}
+
+}  // namespace asti

@@ -1,0 +1,112 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace asti {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'S', 'M', 'G'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVector(std::ofstream& out, const std::vector<T>& values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVector(std::ifstream& in, size_t count, std::vector<T>* values) {
+  values->resize(count);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveGraphBinary(const DirectedGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  const uint32_t n = graph.NumNodes();
+  const uint64_t m = graph.NumEdges();
+  WritePod(out, n);
+  WritePod(out, m);
+
+  std::vector<uint32_t> offsets(n + 1, 0);
+  std::vector<uint32_t> targets;
+  std::vector<double> probs;
+  targets.reserve(m);
+  probs.reserve(m);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets[u + 1] = offsets[u] + graph.OutDegree(u);
+    for (NodeId v : graph.OutNeighbors(u)) targets.push_back(v);
+    for (double p : graph.OutProbabilities(u)) probs.push_back(p);
+  }
+  WriteVector(out, offsets);
+  WriteVector(out, targets);
+  WriteVector(out, probs);
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<DirectedGraph> LoadGraphBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an ASMG file");
+  }
+  uint32_t version = 0;
+  uint32_t n = 0;
+  uint64_t m = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported ASMG version");
+  }
+  if (!ReadPod(in, &n) || !ReadPod(in, &m)) {
+    return Status::InvalidArgument("truncated ASMG header");
+  }
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> targets;
+  std::vector<double> probs;
+  if (!ReadVector(in, static_cast<size_t>(n) + 1, &offsets) ||
+      !ReadVector(in, m, &targets) || !ReadVector(in, m, &probs)) {
+    return Status::InvalidArgument("truncated ASMG payload");
+  }
+  if (offsets.front() != 0 || offsets.back() != m) {
+    return Status::InvalidArgument("corrupt ASMG offsets");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument("non-monotone ASMG offsets");
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      ASM_RETURN_NOT_OK(builder.AddEdge(u, targets[e], probs[e]));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace asti

@@ -1,0 +1,25 @@
+// Binary graph persistence — the fast path for large surrogates.
+//
+// Format (little-endian, version 1):
+//   magic "ASMG"  u32 version  u32 n  u64 m
+//   u32 out_offsets[n+1]  u32 out_targets[m]  f64 out_probs[m]
+// The reverse CSR is rebuilt on load (it is derived state). Loading
+// validates the header, offsets monotonicity, and endpoint ranges, so a
+// truncated or corrupted file yields a Status instead of UB.
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Writes the graph in the ASMG v1 binary format.
+Status SaveGraphBinary(const DirectedGraph& graph, const std::string& path);
+
+/// Reads an ASMG v1 file back into a DirectedGraph.
+StatusOr<DirectedGraph> LoadGraphBinary(const std::string& path);
+
+}  // namespace asti

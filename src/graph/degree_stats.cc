@@ -1,0 +1,52 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace asti {
+
+DegreeStats ComputeDegreeStats(const DirectedGraph& graph) {
+  DegreeStats stats;
+  const NodeId n = graph.NumNodes();
+  if (n == 0) return stats;
+  for (NodeId u = 0; u < n; ++u) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(u));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(u));
+  }
+  stats.average_out_degree = static_cast<double>(graph.NumEdges()) / n;
+  return stats;
+}
+
+std::vector<DegreeDistributionPoint> ComputeDegreeDistribution(const DirectedGraph& graph) {
+  std::map<uint32_t, size_t> counts;
+  const NodeId n = graph.NumNodes();
+  for (NodeId u = 0; u < n; ++u) ++counts[graph.OutDegree(u)];
+  std::vector<DegreeDistributionPoint> points;
+  points.reserve(counts.size());
+  for (const auto& [degree, count] : counts) {
+    points.push_back({degree, static_cast<double>(count) / n});
+  }
+  return points;
+}
+
+std::vector<DegreeDistributionPoint> ComputeLogBinnedDistribution(
+    const DirectedGraph& graph) {
+  const auto exact = ComputeDegreeDistribution(graph);
+  std::vector<DegreeDistributionPoint> binned;
+  uint32_t bucket_low = 1;
+  while (true) {
+    const uint32_t bucket_high = bucket_low * 2;  // [low, high)
+    double mass = 0.0;
+    bool any_at_or_above = false;
+    for (const auto& point : exact) {
+      if (point.degree >= bucket_low) any_at_or_above = true;
+      if (point.degree >= bucket_low && point.degree < bucket_high) mass += point.fraction;
+    }
+    if (!any_at_or_above) break;
+    binned.push_back({bucket_low, mass / bucket_low});  // per-degree average
+    bucket_low = bucket_high;
+  }
+  return binned;
+}
+
+}  // namespace asti

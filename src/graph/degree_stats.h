@@ -1,0 +1,36 @@
+// Degree statistics (Table 2's average degree, Figure 3's distribution).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace asti {
+
+/// Summary degree statistics of a directed graph. "Degree" follows the
+/// paper's convention of total incident directed edges / n for the average.
+struct DegreeStats {
+  double average_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+};
+
+DegreeStats ComputeDegreeStats(const DirectedGraph& graph);
+
+/// One point of a degree-distribution plot: fraction of nodes whose
+/// out-degree equals `degree`.
+struct DegreeDistributionPoint {
+  uint32_t degree = 0;
+  double fraction = 0.0;
+};
+
+/// Exact out-degree histogram, sparse (only degrees that occur), ascending.
+std::vector<DegreeDistributionPoint> ComputeDegreeDistribution(const DirectedGraph& graph);
+
+/// Log-binned version for log-log plots (Figure 3): bucket i covers degrees
+/// [2^i, 2^(i+1)); fraction is averaged per integer degree in the bucket.
+std::vector<DegreeDistributionPoint> ComputeLogBinnedDistribution(
+    const DirectedGraph& graph);
+
+}  // namespace asti

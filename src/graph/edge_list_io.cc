@@ -1,0 +1,99 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace asti {
+
+namespace {
+
+StatusOr<EdgeListFile> ParseFromStream(std::istream& in) {
+  EdgeListFile file;
+  std::string line;
+  size_t line_number = 0;
+  bool saw_probability = false;
+  bool saw_bare_edge = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      if (line.find("undirected") != std::string::npos) file.undirected = true;
+      continue;
+    }
+    std::istringstream tokens(line);
+    long long u = -1;
+    long long v = -1;
+    double p = 1.0;
+    if (!(tokens >> u >> v)) {
+      return Status::InvalidArgument("malformed edge at line " + std::to_string(line_number) +
+                                     ": '" + line + "'");
+    }
+    if (u < 0 || v < 0 || u >= static_cast<long long>(kInvalidNode) ||
+        v >= static_cast<long long>(kInvalidNode)) {
+      return Status::InvalidArgument("node id out of range at line " +
+                                     std::to_string(line_number));
+    }
+    if (tokens >> p) {
+      saw_probability = true;
+      if (!(p > 0.0) || p > 1.0) {
+        return Status::InvalidArgument("probability out of (0,1] at line " +
+                                       std::to_string(line_number));
+      }
+    } else {
+      saw_bare_edge = true;
+    }
+    file.edges.push_back(
+        Edge{static_cast<NodeId>(u), static_cast<NodeId>(v), p});
+    file.num_nodes = std::max(file.num_nodes, static_cast<NodeId>(std::max(u, v) + 1));
+  }
+  if (saw_probability && saw_bare_edge) {
+    return Status::InvalidArgument("mixed weighted and unweighted edge lines");
+  }
+  file.has_probabilities = saw_probability;
+  return file;
+}
+
+}  // namespace
+
+StatusOr<EdgeListFile> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ParseFromStream(in);
+}
+
+StatusOr<EdgeListFile> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseFromStream(in);
+}
+
+StatusOr<DirectedGraph> BuildGraphFromEdgeList(const EdgeListFile& file) {
+  GraphBuilder builder(file.num_nodes);
+  for (const Edge& e : file.edges) {
+    if (file.undirected) {
+      ASM_RETURN_NOT_OK(builder.AddUndirectedEdge(e.source, e.target, e.probability));
+    } else {
+      ASM_RETURN_NOT_OK(builder.AddEdge(e.source, e.target, e.probability));
+    }
+  }
+  return builder.Build(GraphBuilder::DuplicatePolicy::kKeepMaxProbability);
+}
+
+Status SaveEdgeList(const DirectedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "# directed edge list: source target probability\n";
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    auto neighbors = graph.OutNeighbors(u);
+    auto probs = graph.OutProbabilities(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      out << u << ' ' << neighbors[i] << ' ' << probs[i] << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace asti

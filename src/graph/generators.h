@@ -1,0 +1,111 @@
+// Synthetic graph generators.
+//
+// Random families (Erdős–Rényi, Barabási–Albert, Chung–Lu, R-MAT) provide
+// the power-law surrogates for the paper's SNAP datasets (see DESIGN.md
+// substitutions); deterministic fixtures (path, star, ...) back unit tests,
+// including the exact example graphs from Figures 1 and 2 of the paper.
+//
+// Generators emit an EdgeSkeleton (structure only, probability 1.0); a
+// weight model pass then assigns propagation probabilities.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Graph structure prior to weight assignment.
+struct EdgeSkeleton {
+  NodeId num_nodes = 0;
+  std::vector<Edge> edges;  // probability == 1.0 placeholder
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic fixtures.
+// ---------------------------------------------------------------------------
+
+/// 0 -> 1 -> ... -> n-1.
+EdgeSkeleton MakePath(NodeId n);
+
+/// 0 -> 1 -> ... -> n-1 -> 0.
+EdgeSkeleton MakeCycle(NodeId n);
+
+/// Center node 0 with edges 0 -> {1..n-1}.
+EdgeSkeleton MakeStar(NodeId n);
+
+/// All ordered pairs (u, v), u != v.
+EdgeSkeleton MakeComplete(NodeId n);
+
+/// `layers` layers of `width` nodes; every node of layer i points to every
+/// node of layer i+1. Node id = layer * width + offset.
+EdgeSkeleton MakeLayeredDag(NodeId layers, NodeId width);
+
+/// The 6-node social graph of Figure 1 in the paper, with the printed
+/// probabilities: v1->v4 (.9), v1->v6 (.3), v4->v3 (.1), v6->v5 (.5),
+/// v3->v5 (.4), v5->v2 (.6), v2->v1 (.7). Nodes are 0-indexed (v1 == 0).
+StatusOr<DirectedGraph> MakePaperFigure1Graph();
+
+/// The 4-node graph of Figure 2 / Example 2.3: v1->v2 (.5), v1->v3 (.5),
+/// v2->v4 (1), v3->v4 (1). Nodes are 0-indexed (v1 == 0).
+StatusOr<DirectedGraph> MakePaperFigure2Graph();
+
+// ---------------------------------------------------------------------------
+// Random families.
+// ---------------------------------------------------------------------------
+
+/// G(n, m): m distinct directed edges chosen uniformly (no self-loops).
+EdgeSkeleton MakeErdosRenyi(NodeId n, size_t num_edges, Rng& rng);
+
+/// Barabási–Albert preferential attachment with `attach` links per new node.
+/// Produces an undirected structure expanded into both directions
+/// (the paper's treatment of undirected datasets).
+EdgeSkeleton MakeBarabasiAlbert(NodeId n, uint32_t attach, Rng& rng);
+
+/// Chung–Lu fixed expected-degree power-law graph: node weights
+/// w_i ∝ (i + i0)^(-1/(exponent-1)), ~target_edges directed edges sampled
+/// proportional to w_u * w_v, deduplicated.
+EdgeSkeleton MakeChungLu(NodeId n, size_t target_edges, double exponent, Rng& rng);
+
+/// Two-sided Chung–Lu: sources follow a power law with `out_exponent` and
+/// targets one with `in_exponent`; an exponent <= 0 selects that side
+/// uniformly. A power-law in / uniform-out graph has heavy-tailed
+/// in-degrees without explosive out-hubs — the cascade-tempered regime of
+/// dense assortative social networks (DESIGN.md §2, LiveJournal surrogate).
+EdgeSkeleton MakeTwoSidedChungLu(NodeId n, size_t target_edges, double out_exponent,
+                                 double in_exponent, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice of even degree `k_neighbors`
+/// with each edge rewired to a uniform target with probability `beta`.
+/// Undirected structure expanded into both directions.
+EdgeSkeleton MakeWattsStrogatz(NodeId n, uint32_t k_neighbors, double beta, Rng& rng);
+
+/// Forest-fire model (Leskovec et al.): each new node links to a uniformly
+/// chosen ambassador and recursively "burns" through its out-neighborhood
+/// with the given forward-burning probability. Produces a densifying
+/// power-law digraph with strong community structure.
+EdgeSkeleton MakeForestFire(NodeId n, double forward_probability, Rng& rng);
+
+/// R-MAT with 2^scale nodes and the given quadrant probabilities
+/// (a + b + c + d must be ~1). Duplicates and self-loops are discarded and
+/// re-drawn, so exactly `num_edges` distinct edges are emitted.
+EdgeSkeleton MakeRMat(uint32_t scale, size_t num_edges, double a, double b, double c,
+                      double d, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Weight-model application.
+// ---------------------------------------------------------------------------
+
+/// Probability assignment schemes for BuildWeightedGraph.
+enum class WeightScheme { kWeightedCascade, kUniform, kTrivalency };
+
+/// Applies a weight scheme to the skeleton and finalizes the CSR graph.
+/// `uniform_p` is consulted only for kUniform; `rng` only for kTrivalency.
+StatusOr<DirectedGraph> BuildWeightedGraph(EdgeSkeleton skeleton, WeightScheme scheme,
+                                           double uniform_p = 0.1, Rng* rng = nullptr);
+
+}  // namespace asti

@@ -1,0 +1,22 @@
+#include "graph/graph.h"
+
+namespace asti {
+
+double DirectedGraph::InProbabilitySum(NodeId v) const {
+  double sum = 0.0;
+  for (double p : InProbabilities(v)) sum += p;
+  return sum;
+}
+
+std::vector<Edge> DirectedGraph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (EdgeId e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
+      edges.push_back(Edge{u, out_targets_[e], out_probs_[e]});
+    }
+  }
+  return edges;
+}
+
+}  // namespace asti

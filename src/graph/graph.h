@@ -1,0 +1,104 @@
+// Immutable directed probabilistic graph in CSR form.
+//
+// Both adjacency directions are materialized: forward (out-edges) drives
+// influence simulation, reverse (in-edges) drives RR / mRR sampling. The
+// reverse CSR keeps, for every in-edge, the EdgeId of the corresponding
+// forward edge so realizations indexed by forward EdgeId can be consulted
+// from either direction.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace asti {
+
+class GraphBuilder;
+
+/// CSR graph; construct through GraphBuilder.
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+
+  /// Number of nodes.
+  NodeId NumNodes() const { return num_nodes_; }
+  /// Number of directed edges.
+  EdgeId NumEdges() const { return static_cast<EdgeId>(out_targets_.size()); }
+
+  uint32_t OutDegree(NodeId u) const {
+    ASM_DCHECK(u < num_nodes_);
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  uint32_t InDegree(NodeId v) const {
+    ASM_DCHECK(v < num_nodes_);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Out-neighbors of u.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    ASM_DCHECK(u < num_nodes_);
+    return {out_targets_.data() + out_offsets_[u], out_targets_.data() + out_offsets_[u + 1]};
+  }
+  /// Propagation probabilities of u's out-edges (parallel to OutNeighbors).
+  std::span<const double> OutProbabilities(NodeId u) const {
+    ASM_DCHECK(u < num_nodes_);
+    return {out_probs_.data() + out_offsets_[u], out_probs_.data() + out_offsets_[u + 1]};
+  }
+  /// EdgeId of u's first out-edge; out-edges of u are contiguous from here.
+  EdgeId FirstOutEdge(NodeId u) const {
+    ASM_DCHECK(u < num_nodes_);
+    return out_offsets_[u];
+  }
+
+  /// In-neighbors (sources) of v.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    ASM_DCHECK(v < num_nodes_);
+    return {in_sources_.data() + in_offsets_[v], in_sources_.data() + in_offsets_[v + 1]};
+  }
+  /// Propagation probabilities of v's in-edges (parallel to InNeighbors).
+  std::span<const double> InProbabilities(NodeId v) const {
+    ASM_DCHECK(v < num_nodes_);
+    return {in_probs_.data() + in_offsets_[v], in_probs_.data() + in_offsets_[v + 1]};
+  }
+  /// Forward EdgeIds of v's in-edges (parallel to InNeighbors).
+  std::span<const EdgeId> InEdgeIds(NodeId v) const {
+    ASM_DCHECK(v < num_nodes_);
+    return {in_edge_ids_.data() + in_offsets_[v], in_edge_ids_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Target node of a forward edge.
+  NodeId EdgeTarget(EdgeId e) const {
+    ASM_DCHECK(e < NumEdges());
+    return out_targets_[e];
+  }
+  /// Probability of a forward edge.
+  double EdgeProbability(EdgeId e) const {
+    ASM_DCHECK(e < NumEdges());
+    return out_probs_[e];
+  }
+
+  /// Sum of in-edge probabilities of v (LT models require this <= 1).
+  double InProbabilitySum(NodeId v) const;
+
+  /// All edges as a flat list (source recovered from CSR); O(m).
+  std::vector<Edge> ToEdgeList() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  // Forward CSR.
+  std::vector<EdgeId> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;  // size m
+  std::vector<double> out_probs_;    // size m
+  // Reverse CSR.
+  std::vector<EdgeId> in_offsets_;   // size n+1
+  std::vector<NodeId> in_sources_;   // size m
+  std::vector<double> in_probs_;     // size m
+  std::vector<EdgeId> in_edge_ids_;  // size m; forward EdgeId per in-edge
+};
+
+}  // namespace asti

@@ -1,0 +1,89 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace asti {
+
+Status GraphBuilder::AddEdge(NodeId source, NodeId target, double probability) {
+  if (source >= num_nodes_ || target >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range: " + std::to_string(source) +
+                                   " -> " + std::to_string(target));
+  }
+  if (source == target) {
+    return Status::InvalidArgument("self-loop rejected at node " + std::to_string(source));
+  }
+  if (!(probability > 0.0) || probability > 1.0) {
+    return Status::InvalidArgument("edge probability must be in (0, 1], got " +
+                                   std::to_string(probability));
+  }
+  edges_.push_back(Edge{source, target, probability});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, double probability) {
+  ASM_RETURN_NOT_OK(AddEdge(u, v, probability));
+  return AddEdge(v, u, probability);
+}
+
+StatusOr<DirectedGraph> GraphBuilder::Build(DuplicatePolicy policy) {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+
+  // Resolve duplicates.
+  std::vector<Edge> deduped;
+  deduped.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!deduped.empty() && deduped.back().source == e.source &&
+        deduped.back().target == e.target) {
+      if (policy == DuplicatePolicy::kReject) {
+        return Status::InvalidArgument("duplicate edge " + std::to_string(e.source) + " -> " +
+                                       std::to_string(e.target));
+      }
+      deduped.back().probability = std::max(deduped.back().probability, e.probability);
+      continue;
+    }
+    deduped.push_back(e);
+  }
+
+  DirectedGraph graph;
+  graph.num_nodes_ = num_nodes_;
+  const size_t m = deduped.size();
+
+  graph.out_offsets_.assign(num_nodes_ + 1, 0);
+  graph.out_targets_.resize(m);
+  graph.out_probs_.resize(m);
+  for (const Edge& e : deduped) ++graph.out_offsets_[e.source + 1];
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    graph.out_offsets_[u + 1] += graph.out_offsets_[u];
+  }
+  // deduped is sorted by source, so a single pass fills forward CSR in order.
+  for (size_t i = 0; i < m; ++i) {
+    graph.out_targets_[i] = deduped[i].target;
+    graph.out_probs_[i] = deduped[i].probability;
+  }
+
+  graph.in_offsets_.assign(num_nodes_ + 1, 0);
+  graph.in_sources_.resize(m);
+  graph.in_probs_.resize(m);
+  graph.in_edge_ids_.resize(m);
+  for (const Edge& e : deduped) ++graph.in_offsets_[e.target + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
+  }
+  std::vector<EdgeId> cursor(graph.in_offsets_.begin(), graph.in_offsets_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    const Edge& e = deduped[i];
+    const EdgeId slot = cursor[e.target]++;
+    graph.in_sources_[slot] = e.source;
+    graph.in_probs_[slot] = e.probability;
+    graph.in_edge_ids_[slot] = static_cast<EdgeId>(i);
+  }
+
+  edges_.clear();
+  return graph;
+}
+
+}  // namespace asti

@@ -1,0 +1,44 @@
+// Mutable accumulator that produces an immutable DirectedGraph.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Collects edges and finalizes them into CSR form.
+///
+/// Self-loops are rejected; duplicate (u, v) pairs are either rejected or
+/// merged (keeping the maximum probability) depending on the policy given
+/// to Build().
+class GraphBuilder {
+ public:
+  enum class DuplicatePolicy { kReject, kKeepMaxProbability };
+
+  /// Creates a builder for a graph with a fixed node count.
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Queues a directed edge. Returns InvalidArgument on out-of-range
+  /// endpoints, self-loops, or probability outside (0, 1].
+  Status AddEdge(NodeId source, NodeId target, double probability);
+
+  /// Queues both (u, v, p) and (v, u, p); used when ingesting undirected
+  /// datasets, matching the paper's transformation.
+  Status AddUndirectedEdge(NodeId u, NodeId v, double probability);
+
+  /// Finalizes into CSR. The builder is left empty afterwards.
+  StatusOr<DirectedGraph> Build(DuplicatePolicy policy = DuplicatePolicy::kReject);
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace asti

@@ -1,0 +1,28 @@
+// Fundamental identifier types shared across the library.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace asti {
+
+/// Node identifier; nodes are dense integers [0, n).
+using NodeId = uint32_t;
+
+/// Edge identifier; position of the edge in the graph's forward CSR.
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// A weighted directed edge (u -> v) with propagation probability p.
+struct Edge {
+  NodeId source = 0;
+  NodeId target = 0;
+  double probability = 0.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace asti

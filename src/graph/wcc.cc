@@ -1,0 +1,59 @@
+#include "graph/wcc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace asti {
+
+namespace {
+
+// Path-halving union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+WccResult ComputeWcc(const DirectedGraph& graph) {
+  const NodeId n = graph.NumNodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) uf.Union(u, v);
+  }
+  WccResult result;
+  result.component.assign(n, kInvalidNode);
+  std::vector<NodeId> root_to_id(n, kInvalidNode);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId root = uf.Find(u);
+    if (root_to_id[root] == kInvalidNode) {
+      root_to_id[root] = result.num_components++;
+      result.sizes.push_back(0);
+    }
+    result.component[u] = root_to_id[root];
+    ++result.sizes[root_to_id[root]];
+  }
+  for (NodeId size : result.sizes) result.largest_size = std::max(result.largest_size, size);
+  return result;
+}
+
+}  // namespace asti

@@ -1,0 +1,22 @@
+// Weakly connected components via union-find (Table 2's LWCC column).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace asti {
+
+/// Component labeling of a directed graph ignoring edge direction.
+struct WccResult {
+  std::vector<NodeId> component;  // size n: component id per node
+  std::vector<NodeId> sizes;      // size per component id
+  NodeId num_components = 0;
+  NodeId largest_size = 0;
+};
+
+/// Computes weakly connected components.
+WccResult ComputeWcc(const DirectedGraph& graph);
+
+}  // namespace asti

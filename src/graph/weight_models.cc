@@ -1,0 +1,28 @@
+#include "graph/weight_models.h"
+
+#include "util/check.h"
+
+namespace asti {
+
+void AssignWeightedCascade(NodeId num_nodes, std::vector<Edge>& edges) {
+  std::vector<uint32_t> indegree(num_nodes, 0);
+  for (const Edge& e : edges) {
+    ASM_CHECK(e.target < num_nodes);
+    ++indegree[e.target];
+  }
+  for (Edge& e : edges) {
+    e.probability = 1.0 / static_cast<double>(indegree[e.target]);
+  }
+}
+
+void AssignUniform(std::vector<Edge>& edges, double probability) {
+  ASM_CHECK(probability > 0.0 && probability <= 1.0);
+  for (Edge& e : edges) e.probability = probability;
+}
+
+void AssignTrivalency(std::vector<Edge>& edges, Rng& rng) {
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  for (Edge& e : edges) e.probability = kLevels[rng.NextBounded(3)];
+}
+
+}  // namespace asti

@@ -1,0 +1,23 @@
+// Edge-probability assignment schemes used throughout the IM literature.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Weighted-cascade model: p(u, v) = 1 / indeg(v). This is the paper's
+/// experimental setting (§6.1). Also guarantees the LT constraint
+/// sum of in-probabilities == 1 for nodes with indeg > 0.
+void AssignWeightedCascade(NodeId num_nodes, std::vector<Edge>& edges);
+
+/// Constant probability on every edge.
+void AssignUniform(std::vector<Edge>& edges, double probability);
+
+/// Trivalency model: each edge draws uniformly from {0.1, 0.01, 0.001}.
+void AssignTrivalency(std::vector<Edge>& edges, Rng& rng);
+
+}  // namespace asti

@@ -1,0 +1,38 @@
+#include "sampling/mrr_set.h"
+
+namespace asti {
+
+void MrrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector* active,
+                          NodeId num_roots, RrCollection& out, Rng& rng) {
+  const size_t population = candidates.size();
+  ASM_CHECK(num_roots >= 1 && num_roots <= population)
+      << "num_roots " << num_roots << " outside [1, " << population << "]";
+  inner_.visited_.Reset();
+
+  // Draw the root set K without replacement. Rejection sampling is O(k)
+  // while k is a minority of the population; beyond that, a partial
+  // Fisher-Yates over a scratch copy is cheaper.
+  if (num_roots <= population / 2) {
+    NodeId accepted = 0;
+    while (accepted < num_roots) {
+      const NodeId root = candidates[rng.NextBounded(population)];
+      if (!inner_.visited_.MarkVisited(root)) continue;
+      out.PushNode(root);
+      ++accepted;
+    }
+  } else {
+    scratch_.assign(candidates.begin(), candidates.end());
+    for (NodeId i = 0; i < num_roots; ++i) {
+      const size_t j = i + rng.NextBounded(population - i);
+      std::swap(scratch_[i], scratch_[j]);
+      const NodeId root = scratch_[i];
+      inner_.visited_.MarkVisited(root);
+      out.PushNode(root);
+    }
+  }
+
+  inner_.TraverseFrom(active, out, rng);
+  out.SealSet();
+}
+
+}  // namespace asti

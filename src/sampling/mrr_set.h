@@ -1,0 +1,46 @@
+// Multi-root reverse-reachable (mRR) set sampling — the paper's §3.3.
+//
+// A random mRR-set starts from a size-k node set K drawn uniformly
+// *without replacement* from the residual nodes, where k follows the
+// randomized rounding of n_i/η_i (RootSizeSampler), and contains every
+// residual node that reaches K in a random realization. The binary
+// estimator Γ̃(S) = η_i · 1[S ∩ R ≠ ∅] then satisfies Theorem 3.3:
+// (1 − 1/e) E[Γ(S | S_{i-1})] ≤ E[Γ̃(S | S_{i-1})] ≤ E[Γ(S | S_{i-1})].
+
+#pragma once
+
+#include <vector>
+
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "sampling/root_size.h"
+#include "sampling/rr_collection.h"
+#include "sampling/rr_set.h"
+#include "util/bit_vector.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Sampler of multi-root RR-sets; reusable scratch per graph.
+class MrrSampler {
+ public:
+  MrrSampler(const DirectedGraph& graph, DiffusionModel model)
+      : inner_(graph, model) {}
+
+  /// Cumulative traversal cost (shared with the inner traversal engine).
+  const SamplerCost& cost() const { return inner_.cost(); }
+  void ResetCost() { inner_.ResetCost(); }
+
+  /// Appends one mRR-set to `out`. Roots: `num_roots` distinct nodes drawn
+  /// uniformly without replacement from `candidates` (the residual node
+  /// list; every entry must be inactive). active == nullptr means the full
+  /// graph. num_roots must be in [1, |candidates|].
+  void Generate(const std::vector<NodeId>& candidates, const BitVector* active,
+                NodeId num_roots, RrCollection& out, Rng& rng);
+
+ private:
+  RrSampler inner_;
+  std::vector<NodeId> scratch_;  // Fisher-Yates buffer for large num_roots
+};
+
+}  // namespace asti

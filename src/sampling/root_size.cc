@@ -1,0 +1,39 @@
+#include "sampling/root_size.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asti {
+
+RootSizeSampler::RootSizeSampler(NodeId num_inactive, NodeId shortfall,
+                                 RootRounding rounding)
+    : num_inactive_(num_inactive), rounding_(rounding) {
+  ASM_CHECK(shortfall >= 1) << "shortfall must be positive";
+  ASM_CHECK(shortfall <= num_inactive)
+      << "shortfall " << shortfall << " exceeds inactive nodes " << num_inactive;
+  floor_k_ = num_inactive / shortfall;
+  fraction_ = static_cast<double>(num_inactive) / static_cast<double>(shortfall) -
+              static_cast<double>(floor_k_);
+}
+
+NodeId RootSizeSampler::Sample(Rng& rng) const {
+  NodeId k = floor_k_;
+  switch (rounding_) {
+    case RootRounding::kRandomized:
+      if (rng.NextBernoulli(fraction_)) ++k;
+      break;
+    case RootRounding::kFloor:
+      break;
+    case RootRounding::kCeil:
+      if (fraction_ > 0.0) ++k;
+      break;
+  }
+  return std::min<NodeId>(std::max<NodeId>(k, 1), num_inactive_);
+}
+
+double RootSizeSampler::ExpectedK() const {
+  return static_cast<double>(floor_k_) + fraction_;
+}
+
+}  // namespace asti

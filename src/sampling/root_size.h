@@ -1,0 +1,40 @@
+// Randomized rounding of the mRR root count (§3.3).
+//
+// Each mRR-set draws k roots with E[k] = n_i / η_i exactly:
+// k = ⌊n_i/η_i⌋ + 1 with probability frac(n_i/η_i), else ⌊n_i/η_i⌋.
+// Theorem 3.3's (1 − 1/e) lower bound on the estimator bias depends on
+// this randomization (see stats/truncation.h for the fixed-k ablation).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "stats/truncation.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Per-round root-count sampler.
+class RootSizeSampler {
+ public:
+  /// num_inactive = n_i, shortfall = η_i; requires 1 ≤ η_i ≤ n_i.
+  RootSizeSampler(NodeId num_inactive, NodeId shortfall,
+                  RootRounding rounding = RootRounding::kRandomized);
+
+  /// Draws the root count for one mRR-set; always in [1, n_i].
+  NodeId Sample(Rng& rng) const;
+
+  NodeId floor_k() const { return floor_k_; }
+  double fraction() const { return fraction_; }
+  /// E[k] = n_i / η_i (exact under randomized rounding).
+  double ExpectedK() const;
+
+ private:
+  NodeId num_inactive_;
+  NodeId floor_k_;
+  double fraction_;
+  RootRounding rounding_;
+};
+
+}  // namespace asti

@@ -1,0 +1,31 @@
+#include "sampling/rr_collection.h"
+
+namespace asti {
+
+NodeId RrCollection::ArgMaxCoverage() const {
+  ASM_CHECK(num_nodes_ > 0);
+  NodeId best = 0;
+  uint32_t best_coverage = coverage_[0];
+  for (NodeId v = 1; v < num_nodes_; ++v) {
+    if (coverage_[v] > best_coverage) {
+      best = v;
+      best_coverage = coverage_[v];
+    }
+  }
+  return best;
+}
+
+void RrCollection::Clear() {
+  offsets_.assign(1, 0);
+  pool_.clear();
+  std::fill(coverage_.begin(), coverage_.end(), 0);
+}
+
+void RrCollection::SealSet() {
+  const size_t begin = offsets_.back();
+  ASM_CHECK(pool_.size() > begin) << "sealing an empty RR-set";
+  for (size_t i = begin; i < pool_.size(); ++i) ++coverage_[pool_[i]];
+  offsets_.push_back(pool_.size());
+}
+
+}  // namespace asti

@@ -1,0 +1,81 @@
+// Append-only pool of (m)RR-sets with per-node coverage counts.
+//
+// Storage is a flat node pool plus offsets (CSR-style), so doubling the
+// collection never reallocates per-set vectors. Coverage Λ_R(v) — the
+// number of stored sets containing v — is maintained incrementally and is
+// the statistic TRIM/TRIM-B maximize.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace asti {
+
+/// Collection R of reverse-reachable sets over nodes [0, n).
+class RrCollection {
+ public:
+  explicit RrCollection(NodeId num_nodes)
+      : num_nodes_(num_nodes), coverage_(num_nodes, 0) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t NumSets() const { return offsets_.size() - 1; }
+  /// Σ |R| over all stored sets.
+  size_t TotalEntries() const { return pool_.size(); }
+
+  /// Nodes of the i-th set, in traversal discovery order (roots first).
+  std::span<const NodeId> Set(size_t i) const {
+    ASM_DCHECK(i < NumSets());
+    return {pool_.data() + offsets_[i], pool_.data() + offsets_[i + 1]};
+  }
+
+  /// Λ_R(v): number of stored sets containing v.
+  uint32_t Coverage(NodeId v) const {
+    ASM_DCHECK(v < num_nodes_);
+    return coverage_[v];
+  }
+
+  const std::vector<uint32_t>& CoverageCounts() const { return coverage_; }
+
+  /// Node maximizing Λ_R(v) (lowest id on ties). Requires n > 0.
+  NodeId ArgMaxCoverage() const;
+
+  /// Removes all sets; coverage resets to zero.
+  void Clear();
+
+  // --- Building protocol (used by samplers) -------------------------------
+  // Samplers append nodes of the in-progress set directly into the pool via
+  // PushNode (which also serves as the BFS queue), then seal it.
+
+  /// Appends a node to the in-progress set. Returns its index in the pool.
+  size_t PushNode(NodeId v) {
+    ASM_DCHECK(v < num_nodes_);
+    pool_.push_back(v);
+    return pool_.size() - 1;
+  }
+
+  /// Node at absolute pool index (for BFS-over-pool traversal).
+  NodeId PoolNode(size_t index) const {
+    ASM_DCHECK(index < pool_.size());
+    return pool_[index];
+  }
+
+  /// First pool index of the in-progress set.
+  size_t InProgressBegin() const { return offsets_.back(); }
+  size_t PoolSize() const { return pool_.size(); }
+
+  /// Seals the in-progress set (everything pushed since the last seal) and
+  /// updates coverage. The set must be non-empty and duplicate-free.
+  void SealSet();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<size_t> offsets_{0};
+  std::vector<NodeId> pool_;
+  std::vector<uint32_t> coverage_;
+};
+
+}  // namespace asti

@@ -1,0 +1,66 @@
+#include "sampling/rr_set.h"
+
+namespace asti {
+
+void RrSampler::TraverseFrom(const BitVector* active, RrCollection& out, Rng& rng) {
+  const DirectedGraph& graph = *graph_;
+  size_t head = out.InProgressBegin();
+  if (model_ == DiffusionModel::kIndependentCascade) {
+    // Reverse BFS; each in-edge of a popped node flips an independent coin.
+    while (head < out.PoolSize()) {
+      const NodeId v = out.PoolNode(head++);
+      auto sources = graph.InNeighbors(v);
+      auto probs = graph.InProbabilities(v);
+      ++cost_.nodes_visited;
+      cost_.edges_examined += sources.size();
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const NodeId u = sources[i];
+        if (visited_.Visited(u)) continue;
+        if (active != nullptr && active->Get(u)) continue;
+        if (!rng.NextBernoulli(probs[i])) continue;
+        visited_.MarkVisited(u);
+        out.PushNode(u);
+      }
+    }
+  } else {
+    // LT live-edge: each popped node keeps at most one in-edge. In-edges
+    // from active sources are absent from the residual graph; their mass
+    // folds into the "no live in-edge" outcome (DESIGN.md §4).
+    while (head < out.PoolSize()) {
+      const NodeId v = out.PoolNode(head++);
+      auto sources = graph.InNeighbors(v);
+      auto probs = graph.InProbabilities(v);
+      ++cost_.nodes_visited;
+      cost_.edges_examined += sources.size();
+      double x = rng.NextDouble();
+      for (size_t i = 0; i < sources.size(); ++i) {
+        if (x >= probs[i]) {
+          x -= probs[i];
+          continue;
+        }
+        const NodeId u = sources[i];
+        const bool excluded =
+            (active != nullptr && active->Get(u)) || visited_.Visited(u);
+        if (!excluded) {
+          visited_.MarkVisited(u);
+          out.PushNode(u);
+        }
+        break;  // at most one live in-edge per node
+      }
+    }
+  }
+}
+
+void RrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector* active,
+                         RrCollection& out, Rng& rng) {
+  ASM_CHECK(!candidates.empty());
+  visited_.Reset();
+  const NodeId root = candidates[rng.NextBounded(candidates.size())];
+  ASM_DCHECK(active == nullptr || !active->Get(root));
+  visited_.MarkVisited(root);
+  out.PushNode(root);
+  TraverseFrom(active, out, rng);
+  out.SealSet();
+}
+
+}  // namespace asti

@@ -1,0 +1,46 @@
+#include "stats/concentration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace asti {
+
+double CoverageLowerBound(double coverage, double a) {
+  ASM_CHECK(coverage >= 0.0 && a > 0.0);
+  const double root = std::sqrt(coverage + 2.0 * a / 9.0) - std::sqrt(a / 2.0);
+  const double bound = root * root - a / 18.0;
+  return std::max(0.0, bound);
+}
+
+double CoverageUpperBound(double coverage, double a) {
+  ASM_CHECK(coverage >= 0.0 && a > 0.0);
+  const double root = std::sqrt(coverage + a / 2.0) + std::sqrt(a / 2.0);
+  return root * root;
+}
+
+double ChernoffUpperTail(double expectation_mean, double lambda, size_t trials) {
+  ASM_CHECK(expectation_mean >= 0.0 && lambda >= 0.0 && trials > 0);
+  if (lambda == 0.0) return 1.0;
+  const double exponent = -(lambda * lambda * static_cast<double>(trials)) /
+                          (2.0 * expectation_mean + 2.0 * lambda / 3.0);
+  return std::exp(exponent);
+}
+
+double ChernoffLowerTail(double expectation_mean, double lambda, size_t trials) {
+  ASM_CHECK(expectation_mean >= 0.0 && lambda >= 0.0 && trials > 0);
+  if (lambda == 0.0) return 1.0;
+  if (expectation_mean == 0.0) return 0.0;
+  const double exponent =
+      -(lambda * lambda * static_cast<double>(trials)) / (2.0 * expectation_mean);
+  return std::exp(exponent);
+}
+
+double LogBinomial(double n, double k) {
+  ASM_CHECK(n >= k && k >= 0.0);
+  if (k == 0.0 || k == n) return 0.0;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+}  // namespace asti

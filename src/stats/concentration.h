@@ -1,0 +1,37 @@
+// Martingale concentration machinery (Appendix A of the paper).
+//
+// Lemma A.2 turns an observed coverage count Λ (a sum of T [0,1] random
+// variables) into high-probability lower/upper bounds on its expectation:
+//
+//   Λˡ(Λ, a) = (√(Λ + 2a/9) − √(a/2))² − a/18   ≤ E[Λ]   w.p. ≥ 1 − e^{-a}
+//   Λᵘ(Λ, a) = (√(Λ + a/2) + √(a/2))²           ≥ E[Λ]   w.p. ≥ 1 − e^{-a}
+//
+// These drive TRIM/TRIM-B's stopping rule (Alg. 2 lines 9-11, Alg. 3
+// lines 9-11). Lemma A.1's Chernoff-style tails are exposed for tests.
+
+#pragma once
+
+#include <cstddef>
+
+namespace asti {
+
+/// Lemma A.2, Eq. (18): high-probability lower bound on E[Λ] given the
+/// observed coverage `coverage` and confidence parameter `a` (failure
+/// probability e^{-a}). Clamped at 0.
+double CoverageLowerBound(double coverage, double a);
+
+/// Lemma A.2, Eq. (19): high-probability upper bound on E[Λ].
+double CoverageUpperBound(double coverage, double a);
+
+/// Lemma A.1, Eq. (16): upper-tail probability
+/// Pr[mean > E + λ] ≤ exp(−λ²T / (2E + 2λ/3)).
+double ChernoffUpperTail(double expectation_mean, double lambda, size_t trials);
+
+/// Lemma A.1, Eq. (17): lower-tail probability
+/// Pr[mean < E − λ] ≤ exp(−λ²T / (2E)).
+double ChernoffLowerTail(double expectation_mean, double lambda, size_t trials);
+
+/// ln C(n, k) via lgamma; used by TRIM-B's union bound over size-b sets.
+double LogBinomial(double n, double k);
+
+}  // namespace asti

@@ -1,0 +1,36 @@
+#include "stats/guarantees.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace asti {
+
+TheoreticalGuarantees ComputeGuarantees(const GuaranteeQuery& query) {
+  ASM_CHECK(query.num_nodes >= 1);
+  ASM_CHECK(query.eta >= 1 && query.eta <= query.num_nodes);
+  ASM_CHECK(query.epsilon > 0.0 && query.epsilon < 1.0);
+  ASM_CHECK(query.batch >= 1);
+  ASM_CHECK(query.opt_estimate >= 1.0);
+
+  const double n = static_cast<double>(query.num_nodes);
+  const double m = static_cast<double>(query.num_edges);
+  const double eta = static_cast<double>(query.eta);
+  const double b = static_cast<double>(query.batch);
+  constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+
+  TheoreticalGuarantees result;
+  const double rho_b = 1.0 - std::pow(1.0 - 1.0 / b, b);
+  result.per_round_ratio = rho_b * kOneMinusInvE * (1.0 - query.epsilon);
+  const double log_eta_plus_one = std::log(eta) + 1.0;
+  result.policy_factor = log_eta_plus_one * log_eta_plus_one;
+  result.end_to_end_ratio = result.policy_factor / result.per_round_ratio;
+  result.hardness_floor = std::log(eta);
+  result.expected_time_bound =
+      eta * (m + n) * std::log(n) / (query.epsilon * query.epsilon);
+  result.samples_per_round =
+      eta * std::log(n) / (query.epsilon * query.epsilon * query.opt_estimate);
+  return result;
+}
+
+}  // namespace asti

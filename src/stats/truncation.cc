@@ -1,0 +1,47 @@
+#include "stats/truncation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asti {
+
+double MrrMissProbability(uint64_t x, uint64_t n, uint64_t k) {
+  ASM_CHECK(n >= 1 && x <= n && k >= 1 && k <= n);
+  if (k > n - x) return 0.0;
+  double p = 1.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    p *= static_cast<double>(n - x - i) / static_cast<double>(n - i);
+  }
+  return p;
+}
+
+double ExpectedMissProbability(uint64_t x, uint64_t n, uint64_t eta,
+                               RootRounding rounding) {
+  ASM_CHECK(eta >= 1 && eta <= n);
+  const uint64_t k_floor = n / eta;
+  const double frac = static_cast<double>(n) / static_cast<double>(eta) -
+                      static_cast<double>(k_floor);
+  const uint64_t k_ceil = std::min<uint64_t>(k_floor + 1, n);
+  switch (rounding) {
+    case RootRounding::kRandomized:
+      return frac * MrrMissProbability(x, n, k_ceil) +
+             (1.0 - frac) * MrrMissProbability(x, n, k_floor);
+    case RootRounding::kFloor:
+      return MrrMissProbability(x, n, k_floor);
+    case RootRounding::kCeil:
+      return MrrMissProbability(x, n, k_ceil);
+  }
+  ASM_CHECK(false);
+  return 0.0;
+}
+
+double EstimatorBiasRatio(uint64_t x, uint64_t n, uint64_t eta, RootRounding rounding) {
+  ASM_CHECK(x >= 1);
+  const double truncated = static_cast<double>(std::min(x, eta));
+  const double estimate =
+      static_cast<double>(eta) * (1.0 - ExpectedMissProbability(x, n, eta, rounding));
+  return estimate / truncated;
+}
+
+}  // namespace asti

@@ -1,0 +1,39 @@
+// Closed-form machinery behind Theorem 3.3: the bias of the binary mRR
+// estimator Γ̃ relative to the true truncated spread Γ.
+//
+// For a seed set with realized spread x in a graph of n nodes, an mRR-set
+// with k roots sampled *without replacement* misses the seed set with
+// probability p(x; n, k) = C(n−x, k)/C(n, k). The estimator's expectation
+// is η(1 − E_k[p(x)]), and f(x) = η(1 − E_k[p(x)]) / min{x, η} is the bias
+// ratio proven to lie in [1 − 1/e, 1] under randomized rounding of k.
+//
+// These functions exist so tests and the rounding ablation can check the
+// theorem's bounds numerically, including the coarser bounds the §3.3
+// Remark derives for fixed-k variants ([1 − 1/√e, 1] for k = ⌊n/η⌋,
+// [1 − 1/e, 2] for k = ⌊n/η⌋ + 1).
+
+#pragma once
+
+#include <cstdint>
+
+namespace asti {
+
+/// Miss probability p(x; n, k) = Π_{i=0}^{k−1} (n − x − i)/(n − i):
+/// the chance that none of k roots (without replacement) lies in the
+/// x reachable nodes. Returns 0 when k > n − x.
+double MrrMissProbability(uint64_t x, uint64_t n, uint64_t k);
+
+/// How the root count k is chosen relative to n/eta.
+enum class RootRounding {
+  kRandomized,  // k = ⌊n/η⌋ + Bernoulli(frac(n/η)) — the paper's scheme
+  kFloor,       // k = ⌊n/η⌋ always (ablation)
+  kCeil,        // k = ⌊n/η⌋ + 1 always (ablation)
+};
+
+/// E_k[p(x)] under the given rounding scheme.
+double ExpectedMissProbability(uint64_t x, uint64_t n, uint64_t eta, RootRounding rounding);
+
+/// Bias ratio f(x) = η(1 − E_k[p(x)]) / min{x, η} for x ≥ 1.
+double EstimatorBiasRatio(uint64_t x, uint64_t n, uint64_t eta, RootRounding rounding);
+
+}  // namespace asti

@@ -1,0 +1,91 @@
+// A fixed-size bit vector with a generation-stamped "epoch reset" variant.
+//
+// Reverse sampling generates millions of short BFS traversals; clearing a
+// visited-bitmap per traversal would dominate runtime. EpochVisitedSet
+// instead stamps each slot with the traversal epoch, making Reset() O(1).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace asti {
+
+/// Plain dynamic bitset sized at construction.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t size, bool value = false)
+      : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {}
+
+  size_t size() const { return size_; }
+
+  bool Get(size_t i) const {
+    ASM_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) {
+    ASM_DCHECK(i < size_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    ASM_DCHECK(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void Assign(size_t i, bool value) { value ? Set(i) : Clear(i); }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0ULL); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Visited-set with O(1) reset via epoch stamping.
+class EpochVisitedSet {
+ public:
+  EpochVisitedSet() = default;
+  explicit EpochVisitedSet(size_t size) : stamps_(size, 0) {}
+
+  size_t size() const { return stamps_.size(); }
+
+  /// Starts a new traversal; all slots become unvisited.
+  void Reset() {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: do the rare full clear
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool Visited(size_t i) const {
+    ASM_DCHECK(i < stamps_.size());
+    return stamps_[i] == epoch_;
+  }
+
+  /// Marks i visited; returns true if it was not visited before.
+  bool MarkVisited(size_t i) {
+    ASM_DCHECK(i < stamps_.size());
+    if (stamps_[i] == epoch_) return false;
+    stamps_[i] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace asti

@@ -1,0 +1,67 @@
+// Invariant-checking macros, modeled after the CHECK family used across
+// database engines (Arrow's DCHECK, RocksDB's assert conventions).
+//
+// ASM_CHECK fires in all build types: internal invariants of the sampling
+// and selection machinery are cheap relative to graph traversal, and a
+// violated invariant silently corrupts approximation guarantees.
+// ASM_DCHECK compiles out in release builds and may guard O(n) validation.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace asti {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "ASM_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream collector so call sites can write ASM_CHECK(x) << "context " << v;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace asti
+
+#define ASM_CHECK(condition)                                                      \
+  if (condition) {                                                               \
+  } else                                                                          \
+    ::asti::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define ASM_CHECK_EQ(a, b) ASM_CHECK((a) == (b))
+#define ASM_CHECK_NE(a, b) ASM_CHECK((a) != (b))
+#define ASM_CHECK_LT(a, b) ASM_CHECK((a) < (b))
+#define ASM_CHECK_LE(a, b) ASM_CHECK((a) <= (b))
+#define ASM_CHECK_GT(a, b) ASM_CHECK((a) > (b))
+#define ASM_CHECK_GE(a, b) ASM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define ASM_DCHECK(condition) \
+  while (false) ASM_CHECK(condition)
+#else
+#define ASM_DCHECK(condition) ASM_CHECK(condition)
+#endif

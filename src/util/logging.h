@@ -1,0 +1,40 @@
+// Minimal leveled logging to stderr. Benches use it for progress lines;
+// library code logs only at kWarning and above.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace asti {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace asti
+
+#define ASM_LOG(level) ::asti::internal::LogMessage(::asti::LogLevel::level)

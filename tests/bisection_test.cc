@@ -1,0 +1,100 @@
+// Tests for baselines/bisection_seedmin.h.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/ateuc.h"
+#include "baselines/bisection_seedmin.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+
+namespace asti {
+namespace {
+
+DirectedGraph RandomWcGraph(NodeId n, size_t m, uint64_t seed) {
+  Rng rng(seed);
+  auto graph =
+      BuildWeightedGraph(MakeErdosRenyi(n, m, rng), WeightScheme::kWeightedCascade);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(BisectionTest, MeetsThresholdInExpectation) {
+  const DirectedGraph graph = RandomWcGraph(120, 700, 241);
+  const NodeId eta = 30;
+  Rng rng(242);
+  const BisectionResult result = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, eta, BisectionOptions{}, rng);
+  ASSERT_FALSE(result.seeds.empty());
+  MonteCarloEstimator mc(graph, DiffusionModel::kIndependentCascade);
+  Rng mc_rng(243);
+  EXPECT_GE(mc.EstimateSpread(result.seeds, 20000, mc_rng), 0.9 * eta);
+}
+
+TEST(BisectionTest, SeedsAreDistinct) {
+  const DirectedGraph graph = RandomWcGraph(100, 500, 244);
+  Rng rng(245);
+  const BisectionResult result = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, 25, BisectionOptions{}, rng);
+  std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), result.seeds.size());
+}
+
+TEST(BisectionTest, UsesLogarithmicEvaluations) {
+  const DirectedGraph graph = RandomWcGraph(150, 700, 246);
+  Rng rng(247);
+  const BisectionResult result = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, 50, BisectionOptions{}, rng);
+  // Exponential search + bisection: at most ~2·log2(n) + 1 IM solves.
+  EXPECT_LE(result.im_evaluations, 2u * 8u + 2u);
+  EXPECT_GE(result.im_evaluations, 1u);
+}
+
+TEST(BisectionTest, MonotoneInEta) {
+  const DirectedGraph graph = RandomWcGraph(150, 700, 248);
+  Rng rng1(249);
+  Rng rng2(249);
+  const BisectionResult small = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, 15, BisectionOptions{}, rng1);
+  const BisectionResult large = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, 60, BisectionOptions{}, rng2);
+  EXPECT_LE(small.seeds.size(), large.seeds.size());
+}
+
+TEST(BisectionTest, ComparableToAteucSeedCounts) {
+  // Both are non-adaptive RR-greedy selections aiming at the same slack
+  // target; seed counts should land in the same ballpark (within 2x).
+  const DirectedGraph graph = RandomWcGraph(200, 1000, 250);
+  const NodeId eta = 50;
+  Rng rng1(251);
+  Rng rng2(252);
+  const BisectionResult bisection = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, eta, BisectionOptions{}, rng1);
+  const AteucResult ateuc =
+      RunAteuc(graph, DiffusionModel::kIndependentCascade, eta, AteucOptions{}, rng2);
+  EXPECT_LE(bisection.seeds.size(), 2 * ateuc.seeds.size() + 2);
+  EXPECT_LE(ateuc.seeds.size(), 2 * bisection.seeds.size() + 2);
+}
+
+TEST(BisectionTest, EtaEqualsOneIsOneSeed) {
+  const DirectedGraph graph = RandomWcGraph(60, 200, 253);
+  Rng rng(254);
+  const BisectionResult result = RunBisectionSeedMin(
+      graph, DiffusionModel::kIndependentCascade, 1, BisectionOptions{}, rng);
+  EXPECT_EQ(result.seeds.size(), 1u);
+}
+
+TEST(BisectionTest, LtModelWorks) {
+  const DirectedGraph graph = RandomWcGraph(100, 500, 255);
+  Rng rng(256);
+  const BisectionResult result = RunBisectionSeedMin(
+      graph, DiffusionModel::kLinearThreshold, 20, BisectionOptions{}, rng);
+  EXPECT_FALSE(result.seeds.empty());
+  MonteCarloEstimator mc(graph, DiffusionModel::kLinearThreshold);
+  Rng mc_rng(257);
+  EXPECT_GE(mc.EstimateSpread(result.seeds, 20000, mc_rng), 0.85 * 20.0);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,168 @@
+// Differential stress tests: the forward world (Monte-Carlo simulation)
+// and the reverse world (RR / mRR sampling) must agree on every spread
+// quantity, for seed *sets* (not just singletons), across models, graph
+// shapes, and residual states. These are the strongest correctness checks
+// in the suite: a bias in either direction of the sampling machinery
+// breaks the agreement.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+#include "sampling/mrr_set.h"
+#include "sampling/root_size.h"
+#include "sampling/rr_set.h"
+
+namespace asti {
+namespace {
+
+constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+
+using DiffParam = std::tuple<DiffusionModel, int /*graph variant*/>;
+
+DirectedGraph MakeVariantGraph(int variant, uint64_t seed) {
+  Rng rng(seed);
+  EdgeSkeleton skeleton;
+  switch (variant) {
+    case 0:
+      skeleton = MakeErdosRenyi(36, 140, rng);
+      break;
+    case 1:
+      skeleton = MakeBarabasiAlbert(36, 2, rng);
+      break;
+    default:
+      skeleton = MakeCycle(36);
+      break;
+  }
+  auto graph = BuildWeightedGraph(std::move(skeleton), WeightScheme::kWeightedCascade);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+class DifferentialTest : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(DifferentialTest, RrSetAgreesWithForwardMonteCarloOnSets) {
+  const auto [model, variant] = GetParam();
+  const DirectedGraph graph = MakeVariantGraph(variant, 0x1111 + variant);
+  const NodeId n = graph.NumNodes();
+  const std::vector<NodeId> seed_set = {1, 5, 9};
+
+  MonteCarloEstimator mc(graph, model);
+  Rng mc_rng(0x2222);
+  const double forward = mc.EstimateSpread(seed_set, 60000, mc_rng);
+
+  RrSampler sampler(graph, model);
+  RrCollection collection(n);
+  std::vector<NodeId> all_nodes(n);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  Rng rng(0x3333);
+  const size_t samples = 120000;
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    sampler.Generate(all_nodes, nullptr, collection, rng);
+    const auto set = collection.Set(i);
+    for (NodeId v : seed_set) {
+      if (std::find(set.begin(), set.end(), v) != set.end()) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double reverse =
+      static_cast<double>(n) * static_cast<double>(hits) / static_cast<double>(samples);
+  EXPECT_NEAR(reverse, forward, 0.05 * forward + 0.15)
+      << "model " << DiffusionModelName(model) << " variant " << variant;
+}
+
+TEST_P(DifferentialTest, MrrSetBracketsTruncatedMonteCarloOnSets) {
+  const auto [model, variant] = GetParam();
+  const DirectedGraph graph = MakeVariantGraph(variant, 0x4444 + variant);
+  const NodeId n = graph.NumNodes();
+  const NodeId eta = 8;
+  const std::vector<NodeId> seed_set = {2, 7};
+
+  MonteCarloEstimator mc(graph, model);
+  Rng mc_rng(0x5555);
+  const double gamma = mc.EstimateTruncatedSpread(seed_set, eta, 60000, mc_rng);
+
+  MrrSampler sampler(graph, model);
+  RootSizeSampler root_size(n, eta);
+  RrCollection collection(n);
+  std::vector<NodeId> all_nodes(n);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  Rng rng(0x6666);
+  const size_t samples = 120000;
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    sampler.Generate(all_nodes, nullptr, root_size.Sample(rng), collection, rng);
+    const auto set = collection.Set(i);
+    for (NodeId v : seed_set) {
+      if (std::find(set.begin(), set.end(), v) != set.end()) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  const double gamma_tilde = static_cast<double>(eta) * static_cast<double>(hits) /
+                             static_cast<double>(samples);
+  // Theorem 3.3 for sets: (1-1/e)·E[Γ(S)] ≤ E[Γ̃(S)] ≤ E[Γ(S)].
+  EXPECT_GE(gamma_tilde, kOneMinusInvE * gamma - 0.1)
+      << "model " << DiffusionModelName(model) << " variant " << variant;
+  EXPECT_LE(gamma_tilde, gamma + 0.1)
+      << "model " << DiffusionModelName(model) << " variant " << variant;
+}
+
+TEST_P(DifferentialTest, ResidualMarginalsAgree) {
+  const auto [model, variant] = GetParam();
+  const DirectedGraph graph = MakeVariantGraph(variant, 0x7777 + variant);
+  const NodeId n = graph.NumNodes();
+  // Activate a third of the nodes.
+  BitVector active(n);
+  std::vector<NodeId> inactive;
+  for (NodeId v = 0; v < n; ++v) {
+    if (v % 3 == 0) {
+      active.Set(v);
+    } else {
+      inactive.push_back(v);
+    }
+  }
+  const NodeId ni = static_cast<NodeId>(inactive.size());
+  const NodeId eta_i = 5;
+  const NodeId probe = inactive[1];
+
+  MonteCarloEstimator mc(graph, model);
+  Rng mc_rng(0x8888);
+  const double delta =
+      mc.EstimateMarginalTruncatedSpread({probe}, active, eta_i, 60000, mc_rng);
+
+  MrrSampler sampler(graph, model);
+  RootSizeSampler root_size(ni, eta_i);
+  RrCollection collection(n);
+  Rng rng(0x9999);
+  const size_t samples = 120000;
+  for (size_t i = 0; i < samples; ++i) {
+    sampler.Generate(inactive, &active, root_size.Sample(rng), collection, rng);
+  }
+  const double delta_tilde = static_cast<double>(eta_i) *
+                             static_cast<double>(collection.Coverage(probe)) /
+                             static_cast<double>(samples);
+  EXPECT_GE(delta_tilde, kOneMinusInvE * delta - 0.1);
+  EXPECT_LE(delta_tilde, delta + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndGraphs, DifferentialTest,
+    ::testing::Combine(::testing::Values(DiffusionModel::kIndependentCascade,
+                                         DiffusionModel::kLinearThreshold),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<DiffParam>& info) {
+      const int variant = std::get<1>(info.param);
+      const char* name = variant == 0 ? "ER" : variant == 1 ? "BA" : "Cycle";
+      return std::string(DiffusionModelName(std::get<0>(info.param))) + "_" + name;
+    });
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,79 @@
+// Tests for stats/guarantees.h: the paper's closed-form bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/guarantees.h"
+
+namespace asti {
+namespace {
+
+GuaranteeQuery BaseQuery() {
+  GuaranteeQuery query;
+  query.num_nodes = 10000;
+  query.num_edges = 50000;
+  query.eta = 500;
+  query.epsilon = 0.5;
+  query.batch = 1;
+  return query;
+}
+
+TEST(GuaranteesTest, MatchesTheorem37ForBatchOne) {
+  const TheoreticalGuarantees g = ComputeGuarantees(BaseQuery());
+  constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+  EXPECT_NEAR(g.per_round_ratio, kOneMinusInvE * 0.5, 1e-12);
+  const double lf = std::log(500.0) + 1.0;
+  EXPECT_NEAR(g.policy_factor, lf * lf, 1e-9);
+  EXPECT_NEAR(g.end_to_end_ratio, g.policy_factor / g.per_round_ratio, 1e-9);
+}
+
+TEST(GuaranteesTest, BatchAddsRhoFactor) {
+  GuaranteeQuery query = BaseQuery();
+  query.batch = 4;
+  const TheoreticalGuarantees batched = ComputeGuarantees(query);
+  const TheoreticalGuarantees single = ComputeGuarantees(BaseQuery());
+  const double rho4 = 1.0 - std::pow(0.75, 4);
+  EXPECT_NEAR(batched.per_round_ratio, rho4 * single.per_round_ratio, 1e-12);
+  EXPECT_GT(batched.end_to_end_ratio, single.end_to_end_ratio);
+}
+
+TEST(GuaranteesTest, EndToEndAboveHardnessFloor) {
+  // Lemma 3.5: no poly algorithm beats (1-ξ)ln η; the achievable ratio must
+  // sit above ln η for every configuration.
+  for (NodeId eta : {2u, 10u, 100u, 5000u}) {
+    GuaranteeQuery query = BaseQuery();
+    query.eta = eta;
+    const TheoreticalGuarantees g = ComputeGuarantees(query);
+    EXPECT_GT(g.end_to_end_ratio, g.hardness_floor);
+  }
+}
+
+TEST(GuaranteesTest, TimeBoundScalesLinearlyInEta) {
+  GuaranteeQuery query = BaseQuery();
+  const double t1 = ComputeGuarantees(query).expected_time_bound;
+  query.eta = 1000;
+  const double t2 = ComputeGuarantees(query).expected_time_bound;
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(GuaranteesTest, SamplesShrinkWithOptEstimate) {
+  GuaranteeQuery query = BaseQuery();
+  query.opt_estimate = 1.0;
+  const double worst = ComputeGuarantees(query).samples_per_round;
+  query.opt_estimate = 50.0;
+  const double typical = ComputeGuarantees(query).samples_per_round;
+  EXPECT_NEAR(worst / typical, 50.0, 1e-9);
+}
+
+TEST(GuaranteesTest, SmallerEpsilonCostsQuadratically) {
+  GuaranteeQuery query = BaseQuery();
+  query.epsilon = 0.5;
+  const double loose = ComputeGuarantees(query).samples_per_round;
+  query.epsilon = 0.25;
+  const double tight = ComputeGuarantees(query).samples_per_round;
+  EXPECT_NEAR(tight / loose, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace asti

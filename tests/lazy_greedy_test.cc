@@ -1,0 +1,88 @@
+// Tests for coverage/lazy_greedy.h: exact agreement with the eager greedy
+// across random instances and the candidate-restriction contract.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "coverage/lazy_greedy.h"
+#include "coverage/max_coverage.h"
+#include "graph/generators.h"
+#include "sampling/rr_set.h"
+#include "util/rng.h"
+
+namespace asti {
+namespace {
+
+RrCollection RandomCollection(NodeId n, int num_sets, uint64_t seed) {
+  Rng rng(seed);
+  RrCollection collection(n);
+  for (int s = 0; s < num_sets; ++s) {
+    const size_t size = 1 + rng.NextBounded(5);
+    std::set<NodeId> set;
+    while (set.size() < size) set.insert(static_cast<NodeId>(rng.NextBounded(n)));
+    for (NodeId v : set) collection.PushNode(v);
+    collection.SealSet();
+  }
+  return collection;
+}
+
+TEST(LazyGreedyTest, MatchesEagerGreedyOnRandomInstances) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const RrCollection collection = RandomCollection(40, 200, seed);
+    for (NodeId budget : {1u, 3u, 8u}) {
+      const MaxCoverageResult eager = GreedyMaxCoverage(collection, budget);
+      const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, budget);
+      EXPECT_EQ(lazy.selected, eager.selected) << "seed " << seed << " b " << budget;
+      EXPECT_EQ(lazy.covered_sets, eager.covered_sets);
+      EXPECT_EQ(lazy.marginal_coverage, eager.marginal_coverage);
+    }
+  }
+}
+
+TEST(LazyGreedyTest, MatchesOnRealRrSets) {
+  Rng graph_rng(231);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(300, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  RrSampler sampler(*graph, DiffusionModel::kIndependentCascade);
+  RrCollection collection(300);
+  std::vector<NodeId> all_nodes(300);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  Rng rng(232);
+  for (int i = 0; i < 3000; ++i) sampler.Generate(all_nodes, nullptr, collection, rng);
+  const MaxCoverageResult eager = GreedyMaxCoverage(collection, 16);
+  const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, 16);
+  EXPECT_EQ(lazy.selected, eager.selected);
+  EXPECT_EQ(lazy.covered_sets, eager.covered_sets);
+}
+
+TEST(LazyGreedyTest, HonorsCandidateRestriction) {
+  const RrCollection collection = RandomCollection(20, 100, 5);
+  std::vector<NodeId> candidates = {3, 7, 11, 15};
+  const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, 3, &candidates);
+  ASSERT_EQ(lazy.selected.size(), 3u);
+  for (NodeId v : lazy.selected) {
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), v) != candidates.end());
+  }
+  const MaxCoverageResult eager = GreedyMaxCoverage(collection, 3, &candidates);
+  EXPECT_EQ(lazy.selected, eager.selected);
+}
+
+TEST(LazyGreedyTest, BudgetBeyondCandidatesClamps) {
+  const RrCollection collection = RandomCollection(10, 30, 9);
+  std::vector<NodeId> candidates = {1, 2};
+  const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, 10, &candidates);
+  EXPECT_EQ(lazy.selected.size(), 2u);
+}
+
+TEST(LazyGreedyTest, EmptyCollectionStillSelects) {
+  RrCollection collection(6);
+  const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, 2);
+  EXPECT_EQ(lazy.selected.size(), 2u);
+  EXPECT_EQ(lazy.covered_sets, 0u);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,108 @@
+// Tests for diffusion/monte_carlo.h against closed-form expectations on
+// small graphs, including the paper's Example 2.3 numbers.
+
+#include <gtest/gtest.h>
+
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace asti {
+namespace {
+
+TEST(MonteCarloTest, SingleEdgeClosedForm) {
+  // E[I({0})] = 1 + p.
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.3).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  MonteCarloEstimator estimator(graph, DiffusionModel::kIndependentCascade);
+  Rng rng(51);
+  EXPECT_NEAR(estimator.EstimateSpread({0}, 40000, rng), 1.3, 0.02);
+}
+
+TEST(MonteCarloTest, TwoHopClosedForm) {
+  // 0 ->(.5) 1 ->(.4) 2: E[I({0})] = 1 + .5 + .5*.4 = 1.7.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.4).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  MonteCarloEstimator estimator(graph, DiffusionModel::kIndependentCascade);
+  Rng rng(52);
+  EXPECT_NEAR(estimator.EstimateSpread({0}, 40000, rng), 1.7, 0.02);
+}
+
+TEST(MonteCarloTest, PaperExample23ExpectedSpreads) {
+  // Figure 2 graph: E[I(v1)] = 0.25(3+3+4+1) = 2.75.
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  MonteCarloEstimator estimator(*graph, DiffusionModel::kIndependentCascade);
+  Rng rng(53);
+  EXPECT_NEAR(estimator.EstimateSpread({0}, 60000, rng), 2.75, 0.03);
+  // v2 and v3 deterministically reach v4: spread 2.
+  EXPECT_NEAR(estimator.EstimateSpread({1}, 2000, rng), 2.0, 1e-9);
+  EXPECT_NEAR(estimator.EstimateSpread({2}, 2000, rng), 2.0, 1e-9);
+  EXPECT_NEAR(estimator.EstimateSpread({3}, 2000, rng), 1.0, 1e-9);
+}
+
+TEST(MonteCarloTest, PaperExample23TruncatedSpreads) {
+  // With η = 2: E[Γ(v1)] = 1.75, E[Γ(v2)] = E[Γ(v3)] = 2, E[Γ(v4)] = 1.
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  MonteCarloEstimator estimator(*graph, DiffusionModel::kIndependentCascade);
+  Rng rng(54);
+  EXPECT_NEAR(estimator.EstimateTruncatedSpread({0}, 2, 60000, rng), 1.75, 0.02);
+  EXPECT_NEAR(estimator.EstimateTruncatedSpread({1}, 2, 2000, rng), 2.0, 1e-9);
+  EXPECT_NEAR(estimator.EstimateTruncatedSpread({2}, 2, 2000, rng), 2.0, 1e-9);
+  EXPECT_NEAR(estimator.EstimateTruncatedSpread({3}, 2, 2000, rng), 1.0, 1e-9);
+}
+
+TEST(MonteCarloTest, TruncationNeverExceedsEta) {
+  auto graph = BuildWeightedGraph(MakeComplete(10), WeightScheme::kUniform, 0.9);
+  ASSERT_TRUE(graph.ok());
+  MonteCarloEstimator estimator(*graph, DiffusionModel::kIndependentCascade);
+  Rng rng(55);
+  EXPECT_LE(estimator.EstimateTruncatedSpread({0}, 3, 5000, rng), 3.0);
+}
+
+TEST(MonteCarloTest, TruncatedAtMostPlain) {
+  auto graph = MakePaperFigure1Graph();
+  ASSERT_TRUE(graph.ok());
+  MonteCarloEstimator estimator(*graph, DiffusionModel::kIndependentCascade);
+  Rng rng(56);
+  const double plain = estimator.EstimateSpread({0}, 20000, rng);
+  const double truncated = estimator.EstimateTruncatedSpread({0}, 3, 20000, rng);
+  EXPECT_LE(truncated, plain + 0.05);
+}
+
+TEST(MonteCarloTest, MarginalOnResidualGraph) {
+  // Chain 0 -> 1 -> 2 -> 3 with p=1; with {2,3} active, the marginal
+  // truncated spread of node 0 at shortfall 2 is exactly 2 ({0, 1}).
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, 1.0).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  MonteCarloEstimator estimator(graph, DiffusionModel::kIndependentCascade);
+  BitVector active(4);
+  active.Set(2);
+  active.Set(3);
+  Rng rng(57);
+  EXPECT_NEAR(
+      estimator.EstimateMarginalTruncatedSpread({0}, active, 2, 1000, rng), 2.0, 1e-9);
+  // With shortfall 1 the same gain truncates to 1.
+  EXPECT_NEAR(
+      estimator.EstimateMarginalTruncatedSpread({0}, active, 1, 1000, rng), 1.0, 1e-9);
+}
+
+TEST(MonteCarloTest, LtModelMatchesClosedForm) {
+  // LT on 0 ->(.5) 1: node 1 keeps the in-edge with prob .5.
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.5).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  MonteCarloEstimator estimator(graph, DiffusionModel::kLinearThreshold);
+  Rng rng(58);
+  EXPECT_NEAR(estimator.EstimateSpread({0}, 40000, rng), 1.5, 0.02);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,151 @@
+// Tests for diffusion/realization.h: live-edge statistics and invariants
+// for both IC and LT realizations.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "diffusion/realization.h"
+
+namespace asti {
+namespace {
+
+DirectedGraph UniformGraph(double p) {
+  Rng rng(21);
+  auto graph =
+      BuildWeightedGraph(MakeErdosRenyi(60, 400, rng), WeightScheme::kUniform, p);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(IcRealizationTest, LiveFractionMatchesProbability) {
+  const DirectedGraph graph = UniformGraph(0.3);
+  Rng rng(22);
+  size_t live = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    live += Realization::SampleIc(graph, rng).CountLiveEdges();
+  }
+  const double fraction =
+      static_cast<double>(live) / (static_cast<double>(trials) * graph.NumEdges());
+  EXPECT_NEAR(fraction, 0.3, 0.01);
+}
+
+TEST(IcRealizationTest, ProbabilityOneEdgesAlwaysLive) {
+  const DirectedGraph graph = UniformGraph(1.0);
+  Rng rng(23);
+  const Realization realization = Realization::SampleIc(graph, rng);
+  EXPECT_EQ(realization.CountLiveEdges(), graph.NumEdges());
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) EXPECT_TRUE(realization.IsLive(e));
+}
+
+TEST(IcRealizationTest, PerEdgeFrequencyMatchesItsProbability) {
+  // Mixed probabilities: check each edge individually.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.2).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0.8).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  Rng rng(24);
+  int live0 = 0;
+  int live1 = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const Realization realization = Realization::SampleIc(graph, rng);
+    live0 += realization.IsLive(0) ? 1 : 0;
+    live1 += realization.IsLive(1) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(live0) / trials, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(live1) / trials, 0.8, 0.01);
+}
+
+TEST(IcRealizationTest, DeterministicGivenRngState) {
+  const DirectedGraph graph = UniformGraph(0.5);
+  Rng rng1(25);
+  Rng rng2(25);
+  const Realization a = Realization::SampleIc(graph, rng1);
+  const Realization b = Realization::SampleIc(graph, rng2);
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    EXPECT_EQ(a.IsLive(e), b.IsLive(e));
+  }
+}
+
+DirectedGraph WcGraph() {
+  Rng rng(26);
+  auto graph = BuildWeightedGraph(MakeErdosRenyi(80, 600, rng),
+                                  WeightScheme::kWeightedCascade);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(LtRealizationTest, AtMostOneLiveInEdgePerNode) {
+  const DirectedGraph graph = WcGraph();
+  Rng rng(27);
+  for (int t = 0; t < 50; ++t) {
+    const Realization realization = Realization::SampleLt(graph, rng);
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      int live_in = 0;
+      for (EdgeId e : graph.InEdgeIds(v)) live_in += realization.IsLive(e) ? 1 : 0;
+      EXPECT_LE(live_in, 1);
+      if (live_in == 1) {
+        EXPECT_NE(realization.ChosenSource(v), kInvalidNode);
+      } else {
+        EXPECT_EQ(realization.ChosenSource(v), kInvalidNode);
+      }
+    }
+  }
+}
+
+TEST(LtRealizationTest, WeightedCascadeAlwaysPicksAnEdge) {
+  // Under WC the in-probabilities of any node with indeg > 0 sum to exactly
+  // 1, so LT always selects a live in-edge for such nodes.
+  const DirectedGraph graph = WcGraph();
+  Rng rng(28);
+  const Realization realization = Realization::SampleLt(graph, rng);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (graph.InDegree(v) > 0) {
+      EXPECT_NE(realization.ChosenSource(v), kInvalidNode) << "node " << v;
+    }
+  }
+}
+
+TEST(LtRealizationTest, ChoiceFrequencyMatchesEdgeProbability) {
+  // Node 2 has in-edges from 0 (p=.25) and 1 (p=.25): each chosen ~25%,
+  // none ~50%.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0.25).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.25).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  Rng rng(29);
+  int chose0 = 0;
+  int chose1 = 0;
+  int none = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const Realization realization = Realization::SampleLt(graph, rng);
+    const NodeId source = realization.ChosenSource(2);
+    if (source == 0) {
+      ++chose0;
+    } else if (source == 1) {
+      ++chose1;
+    } else {
+      ++none;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(chose0) / trials, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(chose1) / trials, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(none) / trials, 0.50, 0.02);
+}
+
+TEST(LtRealizationTest, CountLiveEdgesEqualsNodesWithChoice) {
+  const DirectedGraph graph = WcGraph();
+  Rng rng(30);
+  const Realization realization = Realization::SampleLt(graph, rng);
+  size_t with_choice = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (realization.ChosenSource(v) != kInvalidNode) ++with_choice;
+  }
+  EXPECT_EQ(realization.CountLiveEdges(), with_choice);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,83 @@
+// Tests for diffusion/spread_distribution.h.
+
+#include <gtest/gtest.h>
+
+#include "diffusion/spread_distribution.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace asti {
+namespace {
+
+TEST(SpreadDistributionTest, DeterministicGraphIsPointMass) {
+  auto graph = BuildWeightedGraph(MakePath(5), WeightScheme::kUniform, 1.0);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(321);
+  const SpreadDistribution dist(*graph, DiffusionModel::kIndependentCascade, {0}, 200,
+                                rng);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(dist.MissProbability(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.MissProbability(5.5), 1.0);
+}
+
+TEST(SpreadDistributionTest, BernoulliEdgeMatchesClosedForm) {
+  // 0 ->(.3) 1: spread is 1 w.p. .7 and 2 w.p. .3.
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.3).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  Rng rng(322);
+  const SpreadDistribution dist(graph, DiffusionModel::kIndependentCascade, {0}, 50000,
+                                rng);
+  EXPECT_NEAR(dist.Mean(), 1.3, 0.01);
+  EXPECT_NEAR(dist.MissProbability(2.0), 0.7, 0.01);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.99), 2.0);
+}
+
+TEST(SpreadDistributionTest, QuantilesMonotone) {
+  Rng graph_rng(323);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(150, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(324);
+  const SpreadDistribution dist(*graph, DiffusionModel::kIndependentCascade, {0, 1},
+                                2000, rng);
+  double previous = -1.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double value = dist.Quantile(q);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(SpreadDistributionTest, OvershootComplementsConsistently) {
+  Rng graph_rng(325);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(150, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(326);
+  const SpreadDistribution dist(*graph, DiffusionModel::kIndependentCascade, {0}, 2000,
+                                rng);
+  const double eta = dist.Quantile(0.5);
+  // miss + in-band + overshoot(1x) == 1 (with ties counted once).
+  const double miss = dist.MissProbability(eta);
+  const double over = dist.OvershootProbability(eta, 1.0);
+  EXPECT_LE(miss + over, 1.0 + 1e-12);
+  EXPECT_GE(miss + over, 0.0);
+  // A factor-100 overshoot band is rarer than factor-1.
+  EXPECT_LE(dist.OvershootProbability(eta, 100.0), over);
+}
+
+TEST(SpreadDistributionTest, LtModelSupported) {
+  auto graph = BuildWeightedGraph(MakeCycle(6), WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  Rng rng(327);
+  const SpreadDistribution dist(*graph, DiffusionModel::kLinearThreshold, {2}, 100, rng);
+  // WC on a cycle makes every in-edge probability 1: full cycle always.
+  EXPECT_DOUBLE_EQ(dist.Mean(), 6.0);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,151 @@
+// Tests for diffusion/topic_model.h: profile construction, mixture
+// validation, campaign-graph semantics, and end-to-end ASTI on a campaign.
+
+#include <gtest/gtest.h>
+
+#include "core/asti.h"
+#include "core/trim.h"
+#include "diffusion/monte_carlo.h"
+#include "diffusion/topic_model.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace asti {
+namespace {
+
+DirectedGraph BaseGraph() {
+  Rng rng(221);
+  auto graph = BuildWeightedGraph(MakeErdosRenyi(60, 300, rng),
+                                  WeightScheme::kWeightedCascade);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(TopicModelTest, ProfileStoresPerTopicProbabilities) {
+  const DirectedGraph graph = BaseGraph();
+  TopicProfile profile(graph, 3);
+  EXPECT_EQ(profile.num_topics(), 3u);
+  profile.SetProbability(0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(profile.Probability(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(profile.Probability(0, 0), 0.0);
+}
+
+TEST(TopicModelTest, RandomProfileBoundedByBase) {
+  const DirectedGraph graph = BaseGraph();
+  Rng rng(222);
+  const TopicProfile profile = MakeRandomTopicProfile(graph, 4, rng);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const EdgeId first = graph.FirstOutEdge(u);
+    auto probs = graph.OutProbabilities(u);
+    for (size_t i = 0; i < probs.size(); ++i) {
+      for (uint32_t t = 0; t < 4; ++t) {
+        const double p = profile.Probability(first + static_cast<EdgeId>(i), t);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, probs[i]);
+      }
+    }
+  }
+}
+
+TEST(TopicModelTest, TopicsDiffer) {
+  const DirectedGraph graph = BaseGraph();
+  Rng rng(223);
+  const TopicProfile profile = MakeRandomTopicProfile(graph, 2, rng);
+  size_t differing = 0;
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    if (profile.Probability(e, 0) != profile.Probability(e, 1)) ++differing;
+  }
+  EXPECT_GT(differing, graph.NumEdges() / 2);
+}
+
+TEST(TopicModelTest, MixtureValidation) {
+  const DirectedGraph graph = BaseGraph();
+  const TopicProfile profile(graph, 3);
+  EXPECT_TRUE(ValidateMixture(profile, {0.5, 0.25, 0.25}).ok());
+  EXPECT_FALSE(ValidateMixture(profile, {0.5, 0.5}).ok());            // size
+  EXPECT_FALSE(ValidateMixture(profile, {0.7, 0.7, -0.4}).ok());      // negative
+  EXPECT_FALSE(ValidateMixture(profile, {0.5, 0.25, 0.5}).ok());      // sum
+}
+
+TEST(TopicModelTest, PureMixtureRecoversTopicGraph) {
+  // With mixture concentrated on topic t, campaign probabilities equal the
+  // topic-t probabilities exactly.
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.8).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 0.6).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  TopicProfile profile(graph, 2);
+  profile.SetProbability(0, 0, 0.3);
+  profile.SetProbability(0, 1, 0.7);
+  profile.SetProbability(1, 0, 0.1);
+  profile.SetProbability(1, 1, 0.5);
+  auto campaign = BuildCampaignGraph(profile, {1.0, 0.0});
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_DOUBLE_EQ(campaign->OutProbabilities(0)[0], 0.3);
+  EXPECT_DOUBLE_EQ(campaign->OutProbabilities(1)[0], 0.1);
+}
+
+TEST(TopicModelTest, MixtureInterpolatesLinearly) {
+  GraphBuilder builder(2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1.0).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  TopicProfile profile(graph, 2);
+  profile.SetProbability(0, 0, 0.2);
+  profile.SetProbability(0, 1, 0.6);
+  auto campaign = BuildCampaignGraph(profile, {0.5, 0.5});
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_DOUBLE_EQ(campaign->OutProbabilities(0)[0], 0.4);
+}
+
+TEST(TopicModelTest, ZeroProbabilityEdgesDropped) {
+  GraphBuilder builder(3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0.5).ok());
+  const DirectedGraph graph = std::move(builder.Build()).value();
+  TopicProfile profile(graph, 1);
+  profile.SetProbability(0, 0, 0.4);  // edge 0 -> 1 survives
+  // Edge 0 -> 2 stays at probability 0 and must disappear.
+  auto campaign = BuildCampaignGraph(profile, {1.0});
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign->NumEdges(), 1u);
+  EXPECT_EQ(campaign->OutNeighbors(0)[0], 1u);
+}
+
+TEST(TopicModelTest, DifferentCampaignsDifferentSpreads) {
+  // A topic the network is receptive to (high affinities) spreads further
+  // than one it ignores; verified by Monte Carlo on the two campaigns.
+  const DirectedGraph graph = BaseGraph();
+  TopicProfile profile(graph, 2);
+  for (EdgeId e = 0; e < graph.NumEdges(); ++e) {
+    profile.SetProbability(e, 0, graph.EdgeProbability(e));        // receptive
+    profile.SetProbability(e, 1, 0.1 * graph.EdgeProbability(e));  // ignored
+  }
+  auto hot = BuildCampaignGraph(profile, {1.0, 0.0});
+  auto cold = BuildCampaignGraph(profile, {0.0, 1.0});
+  ASSERT_TRUE(hot.ok());
+  ASSERT_TRUE(cold.ok());
+  MonteCarloEstimator hot_mc(*hot, DiffusionModel::kIndependentCascade);
+  MonteCarloEstimator cold_mc(*cold, DiffusionModel::kIndependentCascade);
+  Rng rng(224);
+  const double hot_spread = hot_mc.EstimateSpread({0}, 4000, rng);
+  const double cold_spread = cold_mc.EstimateSpread({0}, 4000, rng);
+  EXPECT_GT(hot_spread, cold_spread);
+}
+
+TEST(TopicModelTest, AstiRunsOnCampaignGraph) {
+  // The advertised bridge: campaign graph plugs into the unchanged stack.
+  const DirectedGraph graph = BaseGraph();
+  Rng profile_rng(225);
+  const TopicProfile profile = MakeRandomTopicProfile(graph, 3, profile_rng);
+  auto campaign = BuildCampaignGraph(profile, {0.2, 0.5, 0.3});
+  ASSERT_TRUE(campaign.ok());
+  Rng world_rng(226);
+  AdaptiveWorld world(*campaign, DiffusionModel::kIndependentCascade, 15, world_rng);
+  Trim trim(*campaign, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  Rng rng(227);
+  const AdaptiveRunTrace trace = RunAdaptivePolicy(world, trim, rng);
+  EXPECT_TRUE(trace.target_reached);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,155 @@
+// Tests for core/trim_b.h: schedule constants against Algorithm 3, batch
+// behaviour, and degeneration to TRIM at b = 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/trim.h"
+#include "core/trim_b.h"
+#include "coverage/max_coverage.h"
+#include "graph/generators.h"
+#include "stats/concentration.h"
+#include "util/bit_vector.h"
+
+namespace asti {
+namespace {
+
+ResidualView FullGraphView(const BitVector& active, const std::vector<NodeId>& inactive,
+                           NodeId shortfall) {
+  ResidualView view;
+  view.active = &active;
+  view.inactive_nodes = &inactive;
+  view.shortfall = shortfall;
+  return view;
+}
+
+TEST(TrimBScheduleTest, MatchesAlgorithm3Lines1To5) {
+  const NodeId ni = 500;
+  const NodeId eta_i = 40;
+  const NodeId b = 4;
+  const double eps = 0.5;
+  const TrimBSchedule schedule = ComputeTrimBSchedule(ni, eta_i, b, eps);
+
+  constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+  const double delta = eps / (100.0 * kOneMinusInvE * (1.0 - eps) * eta_i);
+  const double rho_b = 1.0 - std::pow(0.75, 4);
+  EXPECT_NEAR(schedule.delta, delta, 1e-15);
+  EXPECT_NEAR(schedule.rho_b, rho_b, 1e-12);
+  const double ln_choose = LogBinomial(500.0, 4.0);
+  const double root = std::sqrt(std::log(6.0 / delta)) +
+                      std::sqrt((ln_choose + std::log(6.0 / delta)) / rho_b);
+  const double eps_hat = 99.0 * eps / (100.0 - eps);
+  const double theta_max = 2.0 * 500.0 * root * root / (4.0 * eps_hat * eps_hat);
+  EXPECT_NEAR(schedule.theta_max, theta_max, 1e-6);
+  EXPECT_NEAR(schedule.a1,
+              std::log(3.0 * static_cast<double>(schedule.max_iterations) / delta) +
+                  ln_choose,
+              1e-9);
+}
+
+TEST(TrimBScheduleTest, BatchOneMatchesTrimUpToLogTerm) {
+  // With b = 1, ρ_1 = 1 and ln C(n,1) = ln n: the schedule collapses to
+  // Algorithm 2's.
+  const TrimSchedule trim = ComputeTrimSchedule(300, 20, 0.5);
+  const TrimBSchedule trim_b = ComputeTrimBSchedule(300, 20, 1, 0.5);
+  EXPECT_NEAR(trim_b.rho_b, 1.0, 1e-12);
+  EXPECT_NEAR(trim_b.theta_max, trim.theta_max, trim.theta_max * 1e-9);
+  EXPECT_NEAR(trim_b.a1, trim.a1, 1e-9);
+  EXPECT_NEAR(trim_b.a2, trim.a2, 1e-9);
+}
+
+TEST(TrimBTest, ReturnsRequestedBatchSize) {
+  Rng graph_rng(111);
+  auto graph = BuildWeightedGraph(MakeErdosRenyi(50, 250, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.5, 4});
+  BitVector active(50);
+  std::vector<NodeId> inactive(50);
+  std::iota(inactive.begin(), inactive.end(), 0);
+  Rng rng(112);
+  const SelectionResult result =
+      trim_b.SelectBatch(FullGraphView(active, inactive, 10), rng);
+  EXPECT_EQ(result.seeds.size(), 4u);
+  std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(TrimBTest, BatchClampedToResidualNodes) {
+  auto graph = BuildWeightedGraph(MakePath(3), WeightScheme::kUniform, 1.0);
+  ASSERT_TRUE(graph.ok());
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.5, 8});
+  BitVector active(3);
+  std::vector<NodeId> inactive = {0, 1, 2};
+  Rng rng(113);
+  const SelectionResult result =
+      trim_b.SelectBatch(FullGraphView(active, inactive, 3), rng);
+  EXPECT_EQ(result.seeds.size(), 3u);
+}
+
+TEST(TrimBTest, NameReflectsBatchSize) {
+  auto graph = BuildWeightedGraph(MakePath(4), WeightScheme::kUniform, 0.5);
+  ASSERT_TRUE(graph.ok());
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.5, 8});
+  EXPECT_STREQ(trim_b.Name(), "ASTI-8");
+}
+
+TEST(TrimBTest, BatchOneSatisfiesTrimGuarantee) {
+  // With b = 1, TRIM-B degenerates to TRIM; like TRIM it may return v1, v2
+  // or v3 on Example 2.3 (see trim_test.cc) but never the clearly
+  // suboptimal v4.
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  BitVector active(4);
+  std::vector<NodeId> inactive = {0, 1, 2, 3};
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.3, 1});
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(700 + seed);
+    const SelectionResult result =
+        trim_b.SelectBatch(FullGraphView(active, inactive, 2), rng);
+    ASSERT_EQ(result.seeds.size(), 1u);
+    EXPECT_NE(result.seeds[0], 3u);
+  }
+}
+
+TEST(TrimBTest, BatchTwoOnFigure2CoversBothBranches) {
+  // With η = 4 on Figure 2, the best pair must include v1 (the only way to
+  // reach 4 nodes is v1's full cascade) — check {v1, x} is selected.
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  BitVector active(4);
+  std::vector<NodeId> inactive = {0, 1, 2, 3};
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.3, 2});
+  Rng rng(114);
+  const SelectionResult result =
+      trim_b.SelectBatch(FullGraphView(active, inactive, 4), rng);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_TRUE(result.seeds[0] == 0 || result.seeds[1] == 0);
+}
+
+TEST(TrimBTest, LargerBatchUsesFewerSamplesPerSeed) {
+  // TRIM-B's economy: one selection of b seeds costs fewer mRR-sets than b
+  // separate TRIM rounds in the same state (the batching speedup of §6.2).
+  Rng graph_rng(115);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(300, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  BitVector active(300);
+  std::vector<NodeId> inactive(300);
+  std::iota(inactive.begin(), inactive.end(), 0);
+
+  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, TrimBOptions{0.5, 8});
+  Rng rng1(116);
+  Rng rng2(117);
+  const ResidualView view = FullGraphView(active, inactive, 60);
+  const SelectionResult single = trim.SelectBatch(view, rng1);
+  const SelectionResult batched = trim_b.SelectBatch(view, rng2);
+  EXPECT_LT(batched.num_samples, 8 * single.num_samples);
+}
+
+}  // namespace
+}  // namespace asti

@@ -1,0 +1,179 @@
+// Tests for core/trim.h: schedule constants against Algorithm 2's
+// pseudocode, selection quality against the Monte-Carlo oracle, and the
+// Example 2.3 behaviour (truncated spread picks v2/v3, not v1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/trim.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+#include "util/bit_vector.h"
+
+namespace asti {
+namespace {
+
+constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+
+ResidualView FullGraphView(const BitVector& active, const std::vector<NodeId>& inactive,
+                           NodeId shortfall) {
+  ResidualView view;
+  view.active = &active;
+  view.inactive_nodes = &inactive;
+  view.shortfall = shortfall;
+  return view;
+}
+
+TEST(TrimScheduleTest, MatchesAlgorithm2Lines1To5) {
+  const NodeId ni = 1000;
+  const NodeId eta_i = 50;
+  const double eps = 0.5;
+  const TrimSchedule schedule = ComputeTrimSchedule(ni, eta_i, eps);
+
+  const double delta = eps / (100.0 * kOneMinusInvE * (1.0 - eps) * eta_i);
+  EXPECT_NEAR(schedule.delta, delta, 1e-15);
+  EXPECT_NEAR(schedule.eps_hat, 99.0 * eps / (100.0 - eps), 1e-15);
+  const double root =
+      std::sqrt(std::log(6.0 / delta)) + std::sqrt(std::log(1000.0) + std::log(6.0 / delta));
+  const double theta_max = 2.0 * 1000.0 * root * root / (schedule.eps_hat * schedule.eps_hat);
+  EXPECT_NEAR(schedule.theta_max, theta_max, 1e-6);
+  EXPECT_EQ(schedule.theta_zero,
+            static_cast<size_t>(std::ceil(theta_max * schedule.eps_hat *
+                                          schedule.eps_hat / 1000.0)));
+  EXPECT_EQ(schedule.max_iterations,
+            static_cast<size_t>(std::ceil(std::log2(
+                theta_max / static_cast<double>(schedule.theta_zero)))) + 1);
+  EXPECT_NEAR(schedule.a1,
+              std::log(3.0 * static_cast<double>(schedule.max_iterations) / delta) +
+                  std::log(1000.0),
+              1e-12);
+  EXPECT_NEAR(schedule.a2,
+              std::log(3.0 * static_cast<double>(schedule.max_iterations) / delta),
+              1e-12);
+}
+
+TEST(TrimScheduleTest, ThetaZeroAtLeastOne) {
+  const TrimSchedule schedule = ComputeTrimSchedule(4, 2, 0.5);
+  EXPECT_GE(schedule.theta_zero, 1u);
+  EXPECT_GE(schedule.max_iterations, 1u);
+}
+
+TEST(TrimTest, Example23SatisfiesApproximationGuarantee) {
+  // Figure 2 graph with η = 2: expected truncated spreads are
+  // v1: 1.75, v2: 2, v3: 2, v4: 1. Under the binary mRR estimator the
+  // expectations become E[Γ̃(v1)] = 1.75, E[Γ̃(v2)] = 5/3, E[Γ̃(v4)] = 1,
+  // so TRIM may legitimately return v1 — Theorem 3.3 only promises the
+  // (1 − 1/e) bracket. What must hold: the pick is never v4 (its Γ̃ is far
+  // lower) and Δ(pick) ≥ (1 − 1/e)(1 − ε)·Δ(v°) = 0.4425·2 = 0.885.
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.3});
+  BitVector active(4);
+  std::vector<NodeId> inactive = {0, 1, 2, 3};
+  const ResidualView view = FullGraphView(active, inactive, 2);
+  const double exact_truncated[4] = {1.75, 2.0, 2.0, 1.0};
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(900 + seed);
+    const SelectionResult result = trim.SelectBatch(view, rng);
+    ASSERT_EQ(result.seeds.size(), 1u);
+    const NodeId chosen = result.seeds[0];
+    EXPECT_NE(chosen, 3u) << "TRIM picked the clearly suboptimal v4";
+    EXPECT_GE(exact_truncated[chosen], (1.0 - 1.0 / 2.718281828459045) * 0.7 * 2.0);
+  }
+}
+
+TEST(TrimTest, EstimateWithinTheorem33Bracket) {
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.2});
+  BitVector active(4);
+  std::vector<NodeId> inactive = {0, 1, 2, 3};
+  Rng rng(91);
+  const SelectionResult result = trim.SelectBatch(FullGraphView(active, inactive, 2), rng);
+  // Chosen node's true truncated spread is 2; the estimate must lie in
+  // [(1-1/e)*2 - slack, 2 + slack].
+  EXPECT_GE(result.estimated_marginal_gain, kOneMinusInvE * 2.0 - 0.25);
+  EXPECT_LE(result.estimated_marginal_gain, 2.0 + 0.25);
+  EXPECT_GT(result.num_samples, 0u);
+  EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(TrimTest, ApproximationHoldsOnRandomGraphs) {
+  // On random graphs, compare TRIM's pick against the MC-evaluated best
+  // node: Δ(v*) ≥ (1-1/e)(1-ε)·Δ(v°) should hold with generous slack.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng graph_rng(seed);
+    auto graph = BuildWeightedGraph(MakeErdosRenyi(60, 300, graph_rng),
+                                    WeightScheme::kWeightedCascade);
+    ASSERT_TRUE(graph.ok());
+    const NodeId eta = 12;
+    Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.4});
+    BitVector active(60);
+    std::vector<NodeId> inactive(60);
+    std::iota(inactive.begin(), inactive.end(), 0);
+    Rng rng(seed * 7 + 1);
+    const SelectionResult result =
+        trim.SelectBatch(FullGraphView(active, inactive, eta), rng);
+
+    MonteCarloEstimator mc(*graph, DiffusionModel::kIndependentCascade);
+    Rng mc_rng(seed * 13 + 5);
+    const double chosen_gain =
+        mc.EstimateTruncatedSpread({result.seeds[0]}, eta, 20000, mc_rng);
+    double best_gain = 0.0;
+    for (NodeId v = 0; v < 60; ++v) {
+      best_gain =
+          std::max(best_gain, mc.EstimateTruncatedSpread({v}, eta, 4000, mc_rng));
+    }
+    // (1-1/e)(1-0.4) = 0.379…; allow MC noise slack.
+    EXPECT_GE(chosen_gain, 0.379 * best_gain - 0.5) << "seed " << seed;
+  }
+}
+
+TEST(TrimTest, WorksOnResidualGraph) {
+  // Path 0..5 with p=1. With {0,1} active and shortfall 2, the best
+  // remaining node is 2 (activates 2,3,...). TRIM must pick node 2.
+  auto graph = BuildWeightedGraph(MakePath(6), WeightScheme::kUniform, 1.0);
+  ASSERT_TRUE(graph.ok());
+  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.3});
+  BitVector active(6);
+  active.Set(0);
+  active.Set(1);
+  std::vector<NodeId> inactive = {2, 3, 4, 5};
+  Rng rng(92);
+  const SelectionResult result = trim.SelectBatch(FullGraphView(active, inactive, 2), rng);
+  EXPECT_EQ(result.seeds[0], 2u);
+}
+
+TEST(TrimTest, LtModelSelectsSensibly) {
+  // Star with WC weights under LT: center activates every leaf surely
+  // (each leaf's only in-edge has p=1). TRIM must pick the center.
+  auto graph = BuildWeightedGraph(MakeStar(8), WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  Trim trim(*graph, DiffusionModel::kLinearThreshold, TrimOptions{0.3});
+  BitVector active(8);
+  std::vector<NodeId> inactive(8);
+  std::iota(inactive.begin(), inactive.end(), 0);
+  Rng rng(93);
+  const SelectionResult result = trim.SelectBatch(FullGraphView(active, inactive, 5), rng);
+  EXPECT_EQ(result.seeds[0], 0u);
+}
+
+TEST(TrimTest, DeterministicGivenSeed) {
+  auto graph = MakePaperFigure1Graph();
+  ASSERT_TRUE(graph.ok());
+  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  BitVector active(6);
+  std::vector<NodeId> inactive = {0, 1, 2, 3, 4, 5};
+  Rng rng1(94);
+  Rng rng2(94);
+  const SelectionResult a = trim.SelectBatch(FullGraphView(active, inactive, 4), rng1);
+  Trim trim2(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  const SelectionResult b = trim2.SelectBatch(FullGraphView(active, inactive, 4), rng2);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+}
+
+}  // namespace
+}  // namespace asti

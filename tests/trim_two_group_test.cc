@@ -1,0 +1,118 @@
+// Tests for core/trim_two_group.h: selection quality matches one-group
+// TRIM; sample accounting covers both collections; ASTI integration.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/asti.h"
+#include "core/trim.h"
+#include "core/trim_two_group.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators.h"
+
+namespace asti {
+namespace {
+
+ResidualView FullGraphView(const BitVector& active, const std::vector<NodeId>& inactive,
+                           NodeId shortfall) {
+  ResidualView view;
+  view.active = &active;
+  view.inactive_nodes = &inactive;
+  view.shortfall = shortfall;
+  return view;
+}
+
+TEST(TrimTwoGroupTest, SelectsHighQualityNodeOnFigure2) {
+  auto graph = MakePaperFigure2Graph();
+  ASSERT_TRUE(graph.ok());
+  TrimTwoGroup selector(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.3});
+  BitVector active(4);
+  std::vector<NodeId> inactive = {0, 1, 2, 3};
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(1300 + seed);
+    const SelectionResult result =
+        selector.SelectBatch(FullGraphView(active, inactive, 2), rng);
+    ASSERT_EQ(result.seeds.size(), 1u);
+    EXPECT_NE(result.seeds[0], 3u);  // v4 is clearly suboptimal
+  }
+}
+
+TEST(TrimTwoGroupTest, ApproximationComparableToTrim) {
+  Rng graph_rng(311);
+  auto graph = BuildWeightedGraph(MakeErdosRenyi(80, 400, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  const NodeId eta = 16;
+  BitVector active(80);
+  std::vector<NodeId> inactive(80);
+  std::iota(inactive.begin(), inactive.end(), 0);
+
+  TrimTwoGroup two_group(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.4});
+  Rng rng(312);
+  const SelectionResult result =
+      two_group.SelectBatch(FullGraphView(active, inactive, eta), rng);
+
+  MonteCarloEstimator mc(*graph, DiffusionModel::kIndependentCascade);
+  Rng mc_rng(313);
+  const double chosen = mc.EstimateTruncatedSpread({result.seeds[0]}, eta, 20000, mc_rng);
+  double best = 0.0;
+  for (NodeId v = 0; v < 80; ++v) {
+    best = std::max(best, mc.EstimateTruncatedSpread({v}, eta, 4000, mc_rng));
+  }
+  EXPECT_GE(chosen, 0.379 * best - 0.5);  // (1-1/e)(1-0.4) with MC slack
+}
+
+TEST(TrimTwoGroupTest, CountsBothGroups) {
+  auto graph = MakePaperFigure1Graph();
+  ASSERT_TRUE(graph.ok());
+  TrimTwoGroup selector(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  BitVector active(6);
+  std::vector<NodeId> inactive = {0, 1, 2, 3, 4, 5};
+  Rng rng(314);
+  const SelectionResult result =
+      selector.SelectBatch(FullGraphView(active, inactive, 3), rng);
+  EXPECT_GE(result.num_samples, 2u);
+  EXPECT_EQ(result.num_samples % 2, 0u);  // equal halves
+}
+
+TEST(TrimTwoGroupTest, ReachesTargetUnderAstiLoop) {
+  Rng graph_rng(315);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(200, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  Rng world_rng(316);
+  AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, 50, world_rng);
+  TrimTwoGroup selector(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+  Rng rng(317);
+  const AdaptiveRunTrace trace = RunAdaptivePolicy(world, selector, rng);
+  EXPECT_TRUE(trace.target_reached);
+}
+
+TEST(TrimTwoGroupTest, OneGroupUsesNoMoreSamplesAtSingleton) {
+  // §3.4's design claim, measured: for b = 1 the one-group TRIM should not
+  // need more mRR-sets than the two-group variant on the same state.
+  Rng graph_rng(318);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(400, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  BitVector active(400);
+  std::vector<NodeId> inactive(400);
+  std::iota(inactive.begin(), inactive.end(), 0);
+  const ResidualView view = FullGraphView(active, inactive, 80);
+
+  size_t one_group_total = 0;
+  size_t two_group_total = 0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Trim one(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+    TrimTwoGroup two(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+    Rng rng1(400 + seed);
+    Rng rng2(500 + seed);
+    one_group_total += one.SelectBatch(view, rng1).num_samples;
+    two_group_total += two.SelectBatch(view, rng2).num_samples;
+  }
+  EXPECT_LE(one_group_total, 2 * two_group_total);
+}
+
+}  // namespace
+}  // namespace asti

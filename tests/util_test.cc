@@ -1,0 +1,193 @@
+// Tests for src/util: Status/StatusOr, Rng, BitVector, EpochVisitedSet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bit_vector.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace asti {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::IOError("disk on fire");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nothing here"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(13);
+  const uint64_t bound = 10;
+  const int trials = 100000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < trials; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], trials / static_cast<int>(bound), 600);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  const int trials = 100000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Split();
+  // Child is deterministic with respect to the parent state.
+  Rng parent2(23);
+  Rng child2 = parent2.Split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child(), child2());
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.Get(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(129));
+  EXPECT_FALSE(bits.Get(1));
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Get(64));
+}
+
+TEST(BitVectorTest, CountAndReset) {
+  BitVector bits(200);
+  for (size_t i = 0; i < 200; i += 3) bits.Set(i);
+  EXPECT_EQ(bits.Count(), 67u);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitVectorTest, ConstructAllOnes) {
+  BitVector bits(70, true);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(bits.Get(i));
+}
+
+TEST(BitVectorTest, AssignDispatches) {
+  BitVector bits(10);
+  bits.Assign(3, true);
+  EXPECT_TRUE(bits.Get(3));
+  bits.Assign(3, false);
+  EXPECT_FALSE(bits.Get(3));
+}
+
+TEST(EpochVisitedSetTest, MarkAndReset) {
+  EpochVisitedSet visited(50);
+  visited.Reset();
+  EXPECT_TRUE(visited.MarkVisited(10));
+  EXPECT_FALSE(visited.MarkVisited(10));
+  EXPECT_TRUE(visited.Visited(10));
+  EXPECT_FALSE(visited.Visited(11));
+  visited.Reset();
+  EXPECT_FALSE(visited.Visited(10));
+  EXPECT_TRUE(visited.MarkVisited(10));
+}
+
+TEST(EpochVisitedSetTest, ManyEpochsStayIsolated) {
+  EpochVisitedSet visited(8);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    visited.Reset();
+    const size_t slot = epoch % 8;
+    EXPECT_FALSE(visited.Visited(slot));
+    visited.MarkVisited(slot);
+    EXPECT_TRUE(visited.Visited(slot));
+  }
+}
+
+}  // namespace
+}  // namespace asti
