@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const size_t realizations =
       EnvSize("ASM_BENCH_REALIZATIONS", static_cast<size_t>(cli.GetInt("realizations", 3)));
   const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const size_t num_threads = NumThreadsOverride(cli);
 
   auto graph = MakeSurrogateDataset(DatasetId::kEpinions, scale, seed);
   if (!graph.ok()) {
@@ -40,8 +41,11 @@ int main(int argc, char** argv) {
     for (size_t run = 0; run < realizations; ++run) {
       Rng world_rng(seed * 101 + run);
       AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
-      TrimB trim_b(*graph, DiffusionModel::kIndependentCascade,
-                   TrimBOptions{0.5, batch});
+      TrimBOptions options;
+      options.epsilon = 0.5;
+      options.batch_size = batch;
+      options.num_threads = num_threads;
+      TrimB trim_b(*graph, DiffusionModel::kIndependentCascade, options);
       Rng rng(seed * 57 + run * 3 + batch);
       traces.push_back(RunAdaptivePolicy(world, trim_b, rng));
     }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   const double scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", 0.5));
   const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const size_t num_threads = NumThreadsOverride(cli);
   const size_t repeats =
       EnvSize("ASM_BENCH_REALIZATIONS", static_cast<size_t>(cli.GetInt("repeats", 3)));
 
@@ -55,12 +56,14 @@ int main(int argc, char** argv) {
         Rng rng(seed * 31 + r * 7 + static_cast<uint64_t>(design));
         WallTimer timer;
         SelectionResult result;
+        TrimOptions options;
+        options.epsilon = 0.5;
+        options.num_threads = num_threads;
         if (design == 0) {
-          Trim one(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
+          Trim one(*graph, DiffusionModel::kIndependentCascade, options);
           result = one.SelectBatch(view, rng);
         } else {
-          TrimTwoGroup two(*graph, DiffusionModel::kIndependentCascade,
-                           TrimOptions{0.5});
+          TrimTwoGroup two(*graph, DiffusionModel::kIndependentCascade, options);
           result = two.SelectBatch(view, rng);
         }
         seconds += timer.Seconds();

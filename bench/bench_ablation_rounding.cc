@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
       AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
       TrimOptions options;
       options.rounding = rounding;
+      options.num_threads = NumThreadsOverride(cli);
       Trim trim(*graph, DiffusionModel::kIndependentCascade, options);
       Rng rng(seed * 77 + run);
       traces.push_back(RunAdaptivePolicy(world, trim, rng));

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     config.realizations = realizations;
     config.seed = seed;
     config.keep_traces = true;
+    config.num_threads = NumThreadsOverride(cli);
     const CellResult result = RunCell(*graph, config);
 
     // Per seed index: mean/min/max of newly_activated across realizations.

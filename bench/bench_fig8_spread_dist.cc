@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     config.eta = eta;
     config.realizations = realizations;
     config.seed = seed;
+    config.num_threads = NumThreadsOverride(cli);
     config.algorithm = AlgorithmId::kAsti;
     const CellResult asti = RunCell(*graph, config);
     config.algorithm = AlgorithmId::kAteuc;

@@ -11,7 +11,8 @@
 //
 // Flags: --graph PATH | --dataset NAME [--scale S], --eta N |
 // --eta-fraction F, --model IC|LT, --algorithm ASTI|ASTI-b|AdaptIM|Degree,
-// --epsilon E, --runs R, --seed S, --save-traces PATH, --quiet.
+// --epsilon E, --threads T (1 = sequential, 0 = all cores), --runs R,
+// --seed S, --save-traces PATH, --quiet.
 
 #include <iostream>
 #include <memory>
@@ -49,19 +50,28 @@ StatusOr<std::unique_ptr<RoundSelector>> MakeSelector(const CommandLine& cli,
                                                       DiffusionModel model) {
   const std::string name = cli.GetString("algorithm", "ASTI");
   const double epsilon = cli.GetDouble("epsilon", 0.5);
+  const size_t num_threads = static_cast<size_t>(cli.GetInt("threads", 1));
   if (name == "ASTI") {
-    return std::unique_ptr<RoundSelector>(
-        std::make_unique<Trim>(graph, model, TrimOptions{epsilon}));
+    TrimOptions options;
+    options.epsilon = epsilon;
+    options.num_threads = num_threads;
+    return std::unique_ptr<RoundSelector>(std::make_unique<Trim>(graph, model, options));
   }
   if (name.rfind("ASTI-", 0) == 0) {
     const int batch = std::atoi(name.c_str() + 5);
     if (batch < 1) return Status::InvalidArgument("bad batch size in '" + name + "'");
-    return std::unique_ptr<RoundSelector>(std::make_unique<TrimB>(
-        graph, model, TrimBOptions{epsilon, static_cast<NodeId>(batch)}));
+    TrimBOptions options;
+    options.epsilon = epsilon;
+    options.batch_size = static_cast<NodeId>(batch);
+    options.num_threads = num_threads;
+    return std::unique_ptr<RoundSelector>(std::make_unique<TrimB>(graph, model, options));
   }
   if (name == "AdaptIM") {
+    AdaptImOptions options;
+    options.epsilon = epsilon;
+    options.num_threads = num_threads;
     return std::unique_ptr<RoundSelector>(
-        std::make_unique<AdaptIm>(graph, model, AdaptImOptions{epsilon}));
+        std::make_unique<AdaptIm>(graph, model, options));
   }
   if (name == "Degree") {
     return std::unique_ptr<RoundSelector>(std::make_unique<DegreeAdaptive>(graph));

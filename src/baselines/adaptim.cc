@@ -11,7 +11,8 @@ AdaptIm::AdaptIm(const DirectedGraph& graph, DiffusionModel model, AdaptImOption
     : graph_(&graph),
       options_(options),
       sampler_(graph, model),
-      collection_(graph.NumNodes()) {
+      collection_(graph.NumNodes()),
+      engine_(graph, model, options.num_threads) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -40,6 +41,12 @@ SelectionResult AdaptIm::SelectBatch(const ResidualView& view, Rng& rng) {
 
   collection_.Clear();
   auto generate = [&](size_t count) {
+    if (ParallelRrSampler* parallel = engine_.get()) {
+      parallel->GenerateBatch(*view.inactive_nodes, view.active, count, collection_,
+                              rng);
+      return;
+    }
+    collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       sampler_.Generate(*view.inactive_nodes, view.active, collection_, rng);
     }

@@ -11,9 +11,13 @@
 
 #pragma once
 
+#include <memory>
+
 #include "core/selector.h"
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "parallel/parallel_sampler.h"
+#include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 #include "sampling/rr_set.h"
 
@@ -22,6 +26,8 @@ namespace asti {
 /// Tuning knobs for AdaptIM.
 struct AdaptImOptions {
   double epsilon = 0.5;  // certification slack ε ∈ (0, 1)
+  /// RR generation workers; semantics as TrimOptions::num_threads.
+  size_t num_threads = 1;
 };
 
 /// Untruncated-marginal-spread round selector.
@@ -39,6 +45,7 @@ class AdaptIm : public RoundSelector {
   AdaptImOptions options_;
   RrSampler sampler_;
   RrCollection collection_;
+  ParallelEngine engine_;
 };
 
 }  // namespace asti

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/parallel_sampler.h"
+#include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 #include "sampling/rr_set.h"
 #include "stats/concentration.h"
@@ -75,6 +77,7 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
 
   RrSampler sampler(graph, model);
   RrCollection collection(n);
+  ParallelEngine engine(graph, model, options.num_threads);
   const double n_d = static_cast<double>(n);
   // Failure budget per bound evaluation; the union bound over greedy
   // prefixes and doubling iterations follows Han et al.'s recipe.
@@ -85,8 +88,14 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
   size_t target_samples = options.initial_samples;
   size_t previous_s_u = 0;
   for (size_t round = 0; round <= options.max_doublings; ++round) {
-    while (collection.NumSets() < target_samples) {
-      sampler.Generate(all_nodes, nullptr, collection, rng);
+    if (ParallelRrSampler* parallel = engine.get()) {
+      parallel->GenerateBatch(all_nodes, nullptr, target_samples - collection.NumSets(),
+                              collection, rng);
+    } else {
+      collection.Reserve(target_samples - collection.NumSets());
+      while (collection.NumSets() < target_samples) {
+        sampler.Generate(all_nodes, nullptr, collection, rng);
+      }
     }
     const double theta = static_cast<double>(collection.NumSets());
     // Greedy can never need more than η picks: each pick either covers a

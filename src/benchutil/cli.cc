@@ -59,6 +59,12 @@ double EnvDouble(const char* name, double fallback) {
   }
 }
 
+size_t NumThreadsOverride(const CommandLine& cli, size_t fallback) {
+  return EnvSize("ASM_BENCH_THREADS",
+                 static_cast<size_t>(cli.GetInt("threads",
+                                                static_cast<int64_t>(fallback))));
+}
+
 size_t EnvSize(const char* name, size_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;

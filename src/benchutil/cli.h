@@ -1,7 +1,8 @@
 // Minimal flag parsing for bench/example binaries, plus environment
 // overrides shared by the whole harness (ASM_BENCH_SCALE,
-// ASM_BENCH_REALIZATIONS) so `for b in build/bench/*; do $b; done` can be
-// globally scaled without editing code.
+// ASM_BENCH_REALIZATIONS, ASM_BENCH_THREADS) so
+// `for b in build/bench/*; do $b; done` can be globally scaled without
+// editing code.
 
 #pragma once
 
@@ -29,5 +30,10 @@ double EnvDouble(const char* name, double fallback);
 
 /// Environment variable as non-negative integer, or fallback.
 size_t EnvSize(const char* name, size_t fallback);
+
+/// Sampling worker count for a bench binary: ASM_BENCH_THREADS env wins,
+/// then the --threads flag, then `fallback` (1 = sequential, 0 = all
+/// hardware threads).
+size_t NumThreadsOverride(const CommandLine& cli, size_t fallback = 1);
 
 }  // namespace asti

@@ -43,23 +43,46 @@ const char* AlgorithmName(AlgorithmId id) {
 
 namespace {
 
+// Domain-separated stream derivation via Rng::Split(i): world streams are
+// shared by every algorithm (same hidden realizations, the §6 protocol),
+// selector streams are distinct per (algorithm, run).
+enum StreamDomain : uint64_t {
+  kWorldDomain = 0,
+  kAteucDomain = 1,
+  kBisectionDomain = 2,
+  kSelectorDomainBase = 16,  // + AlgorithmId
+};
+
+Rng StreamFor(uint64_t seed, uint64_t domain, size_t run) {
+  return Rng(seed).Split(domain).Split(run);
+}
+
 std::unique_ptr<RoundSelector> MakeSelector(const DirectedGraph& graph,
                                             const CellConfig& config) {
   const DiffusionModel model = config.model;
+  TrimOptions trim_options;
+  trim_options.epsilon = config.epsilon;
+  trim_options.num_threads = config.num_threads;
+  TrimBOptions trim_b_options;
+  trim_b_options.epsilon = config.epsilon;
+  trim_b_options.num_threads = config.num_threads;
+  AdaptImOptions adaptim_options;
+  adaptim_options.epsilon = config.epsilon;
+  adaptim_options.num_threads = config.num_threads;
   switch (config.algorithm) {
     case AlgorithmId::kAsti:
-      return std::make_unique<Trim>(graph, model, TrimOptions{config.epsilon});
+      return std::make_unique<Trim>(graph, model, trim_options);
     case AlgorithmId::kAsti2:
-      return std::make_unique<TrimB>(graph, model,
-                                     TrimBOptions{config.epsilon, 2});
+      trim_b_options.batch_size = 2;
+      return std::make_unique<TrimB>(graph, model, trim_b_options);
     case AlgorithmId::kAsti4:
-      return std::make_unique<TrimB>(graph, model,
-                                     TrimBOptions{config.epsilon, 4});
+      trim_b_options.batch_size = 4;
+      return std::make_unique<TrimB>(graph, model, trim_b_options);
     case AlgorithmId::kAsti8:
-      return std::make_unique<TrimB>(graph, model,
-                                     TrimBOptions{config.epsilon, 8});
+      trim_b_options.batch_size = 8;
+      return std::make_unique<TrimB>(graph, model, trim_b_options);
     case AlgorithmId::kAdaptIm:
-      return std::make_unique<AdaptIm>(graph, model, AdaptImOptions{config.epsilon});
+      return std::make_unique<AdaptIm>(graph, model, adaptim_options);
     case AlgorithmId::kDegree:
       return std::make_unique<DegreeAdaptive>(graph);
     case AlgorithmId::kOracle:
@@ -75,7 +98,7 @@ std::unique_ptr<RoundSelector> MakeSelector(const DirectedGraph& graph,
 // Hidden realization for run r — shared across algorithms by construction.
 Realization HiddenRealization(const DirectedGraph& graph, const CellConfig& config,
                               size_t run) {
-  Rng world_rng(config.seed * 0x9e3779b97f4a7c15ULL + run);
+  Rng world_rng = StreamFor(config.seed, kWorldDomain, run);
   return config.model == DiffusionModel::kIndependentCascade
              ? Realization::SampleIc(graph, world_rng)
              : Realization::SampleLt(graph, world_rng);
@@ -87,8 +110,8 @@ CellResult RunAdaptiveCell(const DirectedGraph& graph, const CellConfig& config)
   for (size_t run = 0; run < config.realizations; ++run) {
     AdaptiveWorld world(graph, config.eta, HiddenRealization(graph, config, run));
     // Selector RNG stream is independent of the hidden world.
-    Rng selector_rng(config.seed * 0xbf58476d1ce4e5b9ULL + run * 131 +
-                     static_cast<uint64_t>(config.algorithm) + 1);
+    Rng selector_rng = StreamFor(
+        config.seed, kSelectorDomainBase + static_cast<uint64_t>(config.algorithm), run);
     std::unique_ptr<RoundSelector> selector = MakeSelector(graph, config);
     AdaptiveRunTrace trace = RunAdaptivePolicy(world, *selector, selector_rng);
     result.spreads.push_back(static_cast<double>(trace.total_activated));
@@ -132,8 +155,9 @@ CellResult EvaluateNonAdaptive(const DirectedGraph& graph, const CellConfig& con
 }
 
 CellResult RunAteucCell(const DirectedGraph& graph, const CellConfig& config) {
-  Rng select_rng(config.seed * 0x94d049bb133111ebULL + 17);
+  Rng select_rng = StreamFor(config.seed, kAteucDomain, 0);
   AteucOptions options;
+  options.num_threads = config.num_threads;
   WallTimer select_timer;
   const AteucResult selection =
       RunAteuc(graph, config.model, config.eta, options, select_rng);
@@ -142,7 +166,7 @@ CellResult RunAteucCell(const DirectedGraph& graph, const CellConfig& config) {
 }
 
 CellResult RunBisectionCell(const DirectedGraph& graph, const CellConfig& config) {
-  Rng select_rng(config.seed * 0x94d049bb133111ebULL + 29);
+  Rng select_rng = StreamFor(config.seed, kBisectionDomain, 0);
   BisectionOptions options;
   WallTimer select_timer;
   const BisectionResult selection =

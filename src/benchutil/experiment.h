@@ -45,6 +45,9 @@ struct CellConfig {
   double epsilon = 0.5;        // ε for sampling-based selectors
   uint64_t seed = 1;           // governs hidden realizations & selector RNG
   bool keep_traces = false;    // retain full per-round traces (Fig. 10)
+  /// Sampling workers for RR/mRR-based selectors (TRIM, TRIM-B, AdaptIM,
+  /// ATEUC): 1 = sequential, 0 = all hardware threads, k = k workers.
+  size_t num_threads = 1;
 };
 
 /// Aggregated cell outcome.

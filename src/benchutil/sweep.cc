@@ -32,6 +32,7 @@ std::vector<SweepCell> RunEvaluationSweep(
         config.epsilon = options.epsilon;
         config.seed = options.seed;
         config.keep_traces = options.keep_traces;
+        config.num_threads = options.num_threads;
         SweepCell cell{dataset, eta_fraction, eta, algorithm, RunCell(*graph, config)};
         if (progress) progress(cell);
         cells.push_back(std::move(cell));
@@ -51,6 +52,7 @@ void ApplyStandardOverrides(int argc, const char* const* argv, SweepOptions& opt
   options.epsilon = cli.GetDouble("epsilon", options.epsilon);
   options.seed = static_cast<uint64_t>(
       cli.GetInt("seed", static_cast<int64_t>(options.seed)));
+  options.num_threads = NumThreadsOverride(cli, options.num_threads);
 }
 
 }  // namespace asti

@@ -30,6 +30,9 @@ struct SweepOptions {
   double epsilon = 0.5;
   uint64_t seed = 7;
   bool keep_traces = false;
+  /// Sampling workers per selector (ASM_BENCH_THREADS / --threads overrides;
+  /// 1 = sequential, 0 = all hardware threads).
+  size_t num_threads = 1;
 };
 
 /// One grid point's outcome.

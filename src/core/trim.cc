@@ -40,7 +40,8 @@ Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options
     : graph_(&graph),
       options_(options),
       sampler_(graph, model),
-      collection_(graph.NumNodes()) {
+      collection_(graph.NumNodes()),
+      engine_(graph, model, options.num_threads) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -54,6 +55,12 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
 
   collection_.Clear();
   auto generate = [&](size_t count) {
+    if (ParallelRrSampler* parallel = engine_.get()) {
+      parallel->GenerateMrrBatch(*view.inactive_nodes, view.active, root_size, count,
+                                 collection_, rng);
+      return;
+    }
+    collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);

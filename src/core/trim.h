@@ -14,6 +14,8 @@
 #include "core/selector.h"
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "parallel/parallel_sampler.h"
+#include "parallel/thread_pool.h"
 #include "sampling/mrr_set.h"
 #include "sampling/rr_collection.h"
 
@@ -23,6 +25,11 @@ namespace asti {
 struct TrimOptions {
   double epsilon = 0.5;          // approximation slack ε ∈ (0, 1)
   RootRounding rounding = RootRounding::kRandomized;  // ablation hook
+  /// mRR generation workers: 1 = in-place sequential sampling (the paper's
+  /// reference path), 0 = one per hardware thread, k = exactly k workers.
+  /// Results are deterministic for a fixed seed at every setting, and
+  /// identical across all settings ≠ 1 (see src/parallel/README.md).
+  size_t num_threads = 1;
 };
 
 /// Single-seed truncated influence maximizer.
@@ -41,6 +48,7 @@ class Trim : public RoundSelector {
   TrimOptions options_;
   MrrSampler sampler_;
   RrCollection collection_;
+  ParallelEngine engine_;
 };
 
 /// Constants of one TRIM invocation (Alg. 2 lines 1-5), exposed so tests

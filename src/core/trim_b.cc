@@ -48,7 +48,8 @@ TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions opti
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      name_("ASTI-" + std::to_string(options.batch_size)) {
+      name_("ASTI-" + std::to_string(options.batch_size)),
+      engine_(graph, model, options.num_threads) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
   ASM_CHECK(options_.batch_size >= 1);
 }
@@ -64,6 +65,12 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
 
   collection_.Clear();
   auto generate = [&](size_t count) {
+    if (ParallelRrSampler* parallel = engine_.get()) {
+      parallel->GenerateMrrBatch(*view.inactive_nodes, view.active, root_size, count,
+                                 collection_, rng);
+      return;
+    }
+    collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);

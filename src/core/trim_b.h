@@ -8,9 +8,13 @@
 
 #pragma once
 
+#include <memory>
+
 #include "core/selector.h"
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "parallel/parallel_sampler.h"
+#include "parallel/thread_pool.h"
 #include "sampling/mrr_set.h"
 #include "sampling/rr_collection.h"
 
@@ -21,6 +25,8 @@ struct TrimBOptions {
   double epsilon = 0.5;   // approximation slack ε ∈ (0, 1)
   NodeId batch_size = 2;  // b ≥ 1
   RootRounding rounding = RootRounding::kRandomized;
+  /// mRR generation workers; semantics as TrimOptions::num_threads.
+  size_t num_threads = 1;
 };
 
 /// Batched truncated influence maximizer.
@@ -41,6 +47,7 @@ class TrimB : public RoundSelector {
   MrrSampler sampler_;
   RrCollection collection_;
   std::string name_;
+  ParallelEngine engine_;
 };
 
 /// Constants of one TRIM-B invocation (Alg. 3 lines 1-5).

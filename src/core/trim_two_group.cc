@@ -13,7 +13,8 @@ TrimTwoGroup::TrimTwoGroup(const DirectedGraph& graph, DiffusionModel model,
       options_(options),
       sampler_(graph, model),
       derive_(graph.NumNodes()),
-      validate_(graph.NumNodes()) {
+      validate_(graph.NumNodes()),
+      engine_(graph, model, options.num_threads) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -32,6 +33,15 @@ SelectionResult TrimTwoGroup::SelectBatch(const ResidualView& view, Rng& rng) {
   derive_.Clear();
   validate_.Clear();
   auto generate = [&](size_t per_group) {
+    if (ParallelRrSampler* parallel = engine_.get()) {
+      parallel->GenerateMrrBatch(*view.inactive_nodes, view.active, root_size,
+                                 per_group, derive_, rng);
+      parallel->GenerateMrrBatch(*view.inactive_nodes, view.active, root_size,
+                                 per_group, validate_, rng);
+      return;
+    }
+    derive_.Reserve(per_group);
+    validate_.Reserve(per_group);
     for (size_t i = 0; i < per_group; ++i) {
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         derive_, rng);

@@ -37,6 +37,7 @@ class TrimTwoGroup : public RoundSelector {
   MrrSampler sampler_;
   RrCollection derive_;    // R1
   RrCollection validate_;  // R2
+  ParallelEngine engine_;
 };
 
 }  // namespace asti

@@ -1,0 +1,67 @@
+#include "parallel/parallel_sampler.h"
+
+namespace asti {
+
+ParallelRrSampler::ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model,
+                                     ThreadPool& pool)
+    : pool_(&pool) {
+  workers_.reserve(pool.NumThreads());
+  for (size_t i = 0; i < pool.NumThreads(); ++i) {
+    workers_.push_back(std::make_unique<Worker>(graph, model));
+  }
+}
+
+template <class GenerateOne>
+void ParallelRrSampler::RunBatch(size_t count, RrCollection& out, Rng& rng,
+                                 GenerateOne&& generate_one) {
+  if (count == 0) return;
+  // One draw per batch: successive batches get fresh stream families while
+  // the caller's consumption stays independent of count and thread count.
+  const Rng batch_base = rng.Split();
+  for (auto& worker : workers_) worker->buffer.Clear();
+  pool_->ParallelFor(count, [&](size_t chunk, size_t begin, size_t end) {
+    Worker& worker = *workers_[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      Rng set_rng = batch_base.Split(i);
+      generate_one(worker, set_rng);
+    }
+  });
+  MergeInto(out);
+}
+
+void ParallelRrSampler::MergeInto(RrCollection& out) {
+  size_t total_sets = 0;
+  size_t total_entries = 0;
+  for (const auto& worker : workers_) {
+    total_sets += worker->buffer.NumSets();
+    total_entries += worker->buffer.TotalEntries();
+  }
+  out.Reserve(total_sets, total_entries);
+  for (auto& worker : workers_) {
+    out.AppendBatch(worker->buffer);
+    cost_.nodes_visited += worker->rr.cost().nodes_visited + worker->mrr.cost().nodes_visited;
+    cost_.edges_examined += worker->rr.cost().edges_examined + worker->mrr.cost().edges_examined;
+    worker->rr.ResetCost();
+    worker->mrr.ResetCost();
+  }
+}
+
+void ParallelRrSampler::GenerateBatch(const std::vector<NodeId>& candidates,
+                                      const BitVector* active, size_t count,
+                                      RrCollection& out, Rng& rng) {
+  RunBatch(count, out, rng, [&](Worker& worker, Rng& set_rng) {
+    worker.rr.Generate(candidates, active, worker.buffer, set_rng);
+  });
+}
+
+void ParallelRrSampler::GenerateMrrBatch(const std::vector<NodeId>& candidates,
+                                         const BitVector* active,
+                                         const RootSizeSampler& root_size, size_t count,
+                                         RrCollection& out, Rng& rng) {
+  RunBatch(count, out, rng, [&](Worker& worker, Rng& set_rng) {
+    const NodeId num_roots = root_size.Sample(set_rng);
+    worker.mrr.Generate(candidates, active, num_roots, worker.buffer, set_rng);
+  });
+}
+
+}  // namespace asti

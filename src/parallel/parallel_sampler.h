@@ -1,0 +1,101 @@
+// Multi-threaded (m)RR-set batch generation with a deterministic result.
+//
+// Each set in a batch owns an RNG stream derived from the caller's Rng by
+// index — batch_base.Split(i) — so a set's content is a pure function of
+// (caller seed, batch number, set index), independent of the thread that
+// generates it and of the pool size. Workers traverse into private
+// RrSetBuffers (chunk c of the ParallelFor covers a contiguous index
+// range), and the buffers are merged into the shared RrCollection in chunk
+// order, which is index order. The collection produced by a batch is
+// therefore bit-identical for ANY thread count, and identical to a
+// sequential RrSampler driven with the same per-set Split streams.
+//
+// Traversal-cost counters accumulate per worker and are merged on join, so
+// SamplerCost totals stay exact for the Lemma 3.8/3.9 benches.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+#include "sampling/mrr_set.h"
+#include "sampling/root_size.h"
+#include "sampling/rr_buffer.h"
+#include "sampling/rr_collection.h"
+#include "sampling/rr_set.h"
+#include "util/bit_vector.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// Batch sampler fanning RR/mRR generation across a ThreadPool.
+class ParallelRrSampler {
+ public:
+  /// The graph and pool must outlive the sampler. Worker-local scratch
+  /// (visited sets, staging buffers) is allocated once per pool thread.
+  ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model, ThreadPool& pool);
+
+  /// Cumulative traversal cost across all batches since construction /
+  /// the last ResetCost(); exact (merged from workers after every batch).
+  const SamplerCost& cost() const { return cost_; }
+  void ResetCost() { cost_ = SamplerCost{}; }
+
+  /// Appends `count` single-root RR-sets to `out`. Advances `rng` by one
+  /// draw (the batch stream split), regardless of count or thread count.
+  void GenerateBatch(const std::vector<NodeId>& candidates, const BitVector* active,
+                     size_t count, RrCollection& out, Rng& rng);
+
+  /// Appends `count` mRR-sets to `out`; set i draws its root count from
+  /// `root_size` out of its own stream before traversing, mirroring the
+  /// sequential sample-k-then-generate order. Advances `rng` by one draw.
+  void GenerateMrrBatch(const std::vector<NodeId>& candidates, const BitVector* active,
+                        const RootSizeSampler& root_size, size_t count,
+                        RrCollection& out, Rng& rng);
+
+ private:
+  // Scratch owned by ParallelFor chunk index (not OS thread): chunk c
+  // writes only to workers_[c], keeping the merge order deterministic.
+  struct Worker {
+    Worker(const DirectedGraph& graph, DiffusionModel model)
+        : rr(graph, model), mrr(graph, model) {}
+    RrSampler rr;
+    MrrSampler mrr;
+    RrSetBuffer buffer;
+  };
+
+  // Fans `count` sets across the pool via `generate_one(worker, set_rng)`,
+  // then merges buffers and costs.
+  template <class GenerateOne>
+  void RunBatch(size_t count, RrCollection& out, Rng& rng, GenerateOne&& generate_one);
+
+  void MergeInto(RrCollection& out);
+
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  SamplerCost cost_;
+};
+
+/// Owns the pool + batch sampler pair behind a num_threads knob: engaged
+/// (non-null get()) when num_threads != 1, a no-op handle otherwise. The
+/// one place the engagement policy lives for every selector/baseline.
+class ParallelEngine {
+ public:
+  ParallelEngine(const DirectedGraph& graph, DiffusionModel model, size_t num_threads) {
+    if (num_threads != 1) {
+      pool_ = std::make_unique<ThreadPool>(num_threads);
+      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *pool_);
+    }
+  }
+
+  /// The batch sampler, or nullptr when running sequentially.
+  ParallelRrSampler* get() { return sampler_.get(); }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ParallelRrSampler> sampler_;
+};
+
+}  // namespace asti

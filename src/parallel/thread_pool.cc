@@ -1,0 +1,83 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace asti {
+
+namespace {
+// A worker count above this is always a caller bug (e.g. a negative flag
+// value cast to size_t), not a real machine.
+constexpr size_t kMaxThreads = 4096;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ASM_CHECK(num_threads <= kMaxThreads)
+      << "ThreadPool: implausible num_threads " << num_threads;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ASM_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--unfinished_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t chunk, size_t begin, size_t end)>& fn) {
+  if (count == 0) return;
+  const size_t chunks = std::min(count, NumThreads());
+  const size_t chunk_size = (count + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    if (begin >= count) break;  // ceil division can leave trailing chunks empty
+    const size_t end = std::min(count, begin + chunk_size);
+    Submit([&fn, c, begin, end] { fn(c, begin, end); });
+  }
+  Wait();
+}
+
+}  // namespace asti

@@ -1,0 +1,64 @@
+// A small reusable worker pool with a task-batch / ParallelFor API.
+//
+// The execution substrate of the parallel sampling engine (and of later
+// subsystems: sharded graph partitions, async batch serving). Workers are
+// spawned once and reused across batches, so per-batch overhead is one
+// mutex round-trip per task rather than a thread spawn. Scheduling is
+// deliberately simple — contiguous static chunks — because the engine's
+// determinism contract ties work-item index (not thread) to RNG stream and
+// output slot; see src/parallel/README.md.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asti {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Blocking parallel loop over [0, count): splits the range into at most
+  /// NumThreads() contiguous chunks and invokes fn(chunk, begin, end) for
+  /// each. Chunk boundaries depend only on (count, NumThreads()), and chunk
+  /// c always covers indices before chunk c+1 — the property deterministic
+  /// index-ordered merges rely on. fn must be safe to call concurrently for
+  /// distinct chunks.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t chunk, size_t begin, size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t unfinished_ = 0;  // queued + running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace asti

@@ -1,9 +1,12 @@
 #include "sampling/mrr_set.h"
 
+#include "sampling/rr_buffer.h"
+
 namespace asti {
 
+template <class Sink>
 void MrrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector* active,
-                          NodeId num_roots, RrCollection& out, Rng& rng) {
+                          NodeId num_roots, Sink& out, Rng& rng) {
   const size_t population = candidates.size();
   ASM_CHECK(num_roots >= 1 && num_roots <= population)
       << "num_roots " << num_roots << " outside [1, " << population << "]";
@@ -34,5 +37,12 @@ void MrrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector
   inner_.TraverseFrom(active, out, rng);
   out.SealSet();
 }
+
+template void MrrSampler::Generate<RrCollection>(const std::vector<NodeId>&,
+                                                 const BitVector*, NodeId, RrCollection&,
+                                                 Rng&);
+template void MrrSampler::Generate<RrSetBuffer>(const std::vector<NodeId>&,
+                                                const BitVector*, NodeId, RrSetBuffer&,
+                                                Rng&);
 
 }  // namespace asti

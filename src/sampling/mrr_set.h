@@ -34,9 +34,12 @@ class MrrSampler {
   /// Appends one mRR-set to `out`. Roots: `num_roots` distinct nodes drawn
   /// uniformly without replacement from `candidates` (the residual node
   /// list; every entry must be inactive). active == nullptr means the full
-  /// graph. num_roots must be in [1, |candidates|].
+  /// graph. num_roots must be in [1, |candidates|]. Sink is any type with
+  /// the RrCollection building protocol; instantiated for RrCollection and
+  /// RrSetBuffer.
+  template <class Sink>
   void Generate(const std::vector<NodeId>& candidates, const BitVector* active,
-                NodeId num_roots, RrCollection& out, Rng& rng);
+                NodeId num_roots, Sink& out, Rng& rng);
 
  private:
   RrSampler inner_;

@@ -1,0 +1,72 @@
+// Coverage-free staging buffer for sealed (m)RR-sets.
+//
+// Exposes the same building protocol as RrCollection (PushNode doubles as
+// the BFS queue, SealSet closes a set) but keeps no per-node coverage, so
+// a worker thread can generate sets into private storage with zero shared
+// state; RrCollection::AppendBatch later folds the buffer in — including
+// the coverage increments — in one O(entries) pass.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace asti {
+
+/// Append-only pool of sealed RR-sets without coverage counts.
+class RrSetBuffer {
+ public:
+  size_t NumSets() const { return offsets_.size() - 1; }
+  /// Σ |R| over all stored sets.
+  size_t TotalEntries() const { return pool_.size(); }
+
+  /// Nodes of the i-th set, in traversal discovery order (roots first).
+  std::span<const NodeId> Set(size_t i) const {
+    ASM_DCHECK(i < NumSets());
+    return {pool_.data() + offsets_[i], pool_.data() + offsets_[i + 1]};
+  }
+
+  /// Set boundaries (size NumSets()+1) and flat node pool, for bulk merge.
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& pool() const { return pool_; }
+
+  /// Removes all sets. Keeps capacity, so a reused worker buffer stops
+  /// allocating after the first batch.
+  void Clear() {
+    offsets_.assign(1, 0);
+    pool_.clear();
+  }
+
+  // --- Building protocol (shared with RrCollection) ------------------------
+
+  /// Appends a node to the in-progress set. Returns its index in the pool.
+  size_t PushNode(NodeId v) {
+    pool_.push_back(v);
+    return pool_.size() - 1;
+  }
+
+  /// Node at absolute pool index (for BFS-over-pool traversal).
+  NodeId PoolNode(size_t index) const {
+    ASM_DCHECK(index < pool_.size());
+    return pool_[index];
+  }
+
+  /// First pool index of the in-progress set.
+  size_t InProgressBegin() const { return offsets_.back(); }
+  size_t PoolSize() const { return pool_.size(); }
+
+  /// Seals the in-progress set. The set must be non-empty and duplicate-free.
+  void SealSet() {
+    ASM_CHECK(pool_.size() > offsets_.back()) << "sealing an empty RR-set";
+    offsets_.push_back(pool_.size());
+  }
+
+ private:
+  std::vector<size_t> offsets_{0};
+  std::vector<NodeId> pool_;
+};
+
+}  // namespace asti

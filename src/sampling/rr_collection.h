@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "sampling/rr_buffer.h"
 #include "util/check.h"
 
 namespace asti {
@@ -45,6 +46,20 @@ class RrCollection {
 
   /// Removes all sets; coverage resets to zero.
   void Clear();
+
+  // --- Bulk growth ---------------------------------------------------------
+
+  /// Reserves room for `extra_sets` more sets totalling `extra_entries`
+  /// pool nodes, so a known-size append never reallocates mid-merge.
+  void Reserve(size_t extra_sets, size_t extra_entries);
+
+  /// Reserves room for `extra_sets` more sets, sized by the current mean
+  /// set size — the right predictor for one more doubling batch.
+  void Reserve(size_t extra_sets);
+
+  /// Appends every sealed set of `buffer` (preserving set order and node
+  /// order within each set) and updates coverage. O(buffer.TotalEntries()).
+  void AppendBatch(const RrSetBuffer& buffer);
 
   // --- Building protocol (used by samplers) -------------------------------
   // Samplers append nodes of the in-progress set directly into the pool via

@@ -1,8 +1,11 @@
 #include "sampling/rr_set.h"
 
+#include "sampling/rr_buffer.h"
+
 namespace asti {
 
-void RrSampler::TraverseFrom(const BitVector* active, RrCollection& out, Rng& rng) {
+template <class Sink>
+void RrSampler::TraverseFrom(const BitVector* active, Sink& out, Rng& rng) {
   const DirectedGraph& graph = *graph_;
   size_t head = out.InProgressBegin();
   if (model_ == DiffusionModel::kIndependentCascade) {
@@ -51,8 +54,9 @@ void RrSampler::TraverseFrom(const BitVector* active, RrCollection& out, Rng& rn
   }
 }
 
+template <class Sink>
 void RrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector* active,
-                         RrCollection& out, Rng& rng) {
+                         Sink& out, Rng& rng) {
   ASM_CHECK(!candidates.empty());
   visited_.Reset();
   const NodeId root = candidates[rng.NextBounded(candidates.size())];
@@ -62,5 +66,14 @@ void RrSampler::Generate(const std::vector<NodeId>& candidates, const BitVector*
   TraverseFrom(active, out, rng);
   out.SealSet();
 }
+
+// The two sinks of the library: the shared collection (sequential path)
+// and the worker-local staging buffer (parallel path).
+template void RrSampler::TraverseFrom<RrCollection>(const BitVector*, RrCollection&, Rng&);
+template void RrSampler::TraverseFrom<RrSetBuffer>(const BitVector*, RrSetBuffer&, Rng&);
+template void RrSampler::Generate<RrCollection>(const std::vector<NodeId>&,
+                                                const BitVector*, RrCollection&, Rng&);
+template void RrSampler::Generate<RrSetBuffer>(const std::vector<NodeId>&,
+                                               const BitVector*, RrSetBuffer&, Rng&);
 
 }  // namespace asti

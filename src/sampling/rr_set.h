@@ -43,15 +43,19 @@ class RrSampler {
   /// Appends one RR-set to `out`. The root is drawn uniformly from
   /// `candidates` (the residual node list); nodes with active->Get(v) true
   /// are excluded from traversal. Pass active == nullptr for the full graph.
+  /// Sink is any type with the RrCollection building protocol; instantiated
+  /// for RrCollection and RrSetBuffer (worker-local parallel staging).
+  template <class Sink>
   void Generate(const std::vector<NodeId>& candidates, const BitVector* active,
-                RrCollection& out, Rng& rng);
+                Sink& out, Rng& rng);
 
  private:
   friend class MrrSampler;
 
   // Continues a reverse traversal over every node already pushed to the
   // in-progress set of `out` (the pool doubles as the BFS queue).
-  void TraverseFrom(const BitVector* active, RrCollection& out, Rng& rng);
+  template <class Sink>
+  void TraverseFrom(const BitVector* active, Sink& out, Rng& rng);
 
   const DirectedGraph* graph_;
   DiffusionModel model_;

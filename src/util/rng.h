@@ -81,7 +81,24 @@ class Rng {
 
   /// Derives an independent generator; used to hand child components their
   /// own deterministic stream (split-by-draw, standard for xoshiro family).
+  /// Advances this generator by one draw.
   Rng Split() { return Rng((*this)()); }
+
+  /// Derives the i-th child stream *without* advancing this generator:
+  /// a pure function of (current state, i), so any number of children can
+  /// be materialized in any order — the facility behind deterministic
+  /// multi-threaded sampling (each work item owns stream Split(i)
+  /// regardless of which thread executes it). Distinct i give streams that
+  /// pass the same independence smoke tests as distinct seeds: the child
+  /// seed goes through two SplitMix64 finalizer rounds, and the Rng
+  /// constructor expands it through four more.
+  Rng Split(uint64_t i) const {
+    uint64_t s = state_[0] ^ internal::RotLeft(state_[1], 13) ^
+                 internal::RotLeft(state_[2], 29) ^ internal::RotLeft(state_[3], 43);
+    s += 0x9e3779b97f4a7c15ULL * (i + 1);
+    uint64_t child_seed = internal::SplitMix64(s) ^ i;
+    return Rng(internal::SplitMix64(child_seed));
+  }
 
  private:
   uint64_t state_[4];

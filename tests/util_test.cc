@@ -130,6 +130,55 @@ TEST(RngTest, SplitProducesIndependentStream) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(child(), child2());
 }
 
+TEST(RngTest, IndexedSplitIsPureAndDeterministic) {
+  Rng parent(29);
+  const Rng& const_parent = parent;
+  Rng a = const_parent.Split(7);
+  Rng b = const_parent.Split(7);
+  // Same index twice: identical stream, and the parent did not advance.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+  Rng untouched(29);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(parent(), untouched());
+}
+
+TEST(RngTest, IndexedSplitStreamsDiverge) {
+  Rng parent(31);
+  // Adjacent indices (the worst case for weak mixing) must decorrelate.
+  Rng a = parent.Split(0);
+  Rng b = parent.Split(1);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, IndexedSplitDependsOnParentState) {
+  Rng parent1(37);
+  Rng parent2(38);
+  Rng a = parent1.Split(5);
+  Rng b = parent2.Split(5);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, IndexedSplitChildrenLookUniform) {
+  // Pooled draws from many adjacent child streams should still be uniform:
+  // mean of NextDouble over 1000 children × 100 draws near 0.5.
+  Rng parent(41);
+  double sum = 0.0;
+  const int children = 1000;
+  const int draws = 100;
+  for (int c = 0; c < children; ++c) {
+    Rng child = parent.Split(static_cast<uint64_t>(c));
+    for (int i = 0; i < draws; ++i) sum += child.NextDouble();
+  }
+  EXPECT_NEAR(sum / (children * draws), 0.5, 0.005);
+}
+
 TEST(BitVectorTest, SetGetClear) {
   BitVector bits(130);
   EXPECT_EQ(bits.size(), 130u);
