@@ -1,20 +1,27 @@
-// Parallel RR-set sampling engine: throughput vs. thread count.
+// Parallel RR-set sampling + greedy coverage engines: throughput vs.
+// thread count.
 //
-// Not a paper figure — measures the src/parallel/ engine on a generator
-// graph: single-root RR batches and mRR batches (the TRIM workload) at
-// each requested thread count, reporting sets/s and speedup over one
-// thread. A coverage checksum is printed per row; identical checksums
-// across thread counts demonstrate the engine's determinism contract
-// (per-set RNG streams + index-ordered merge ⇒ the collection does not
-// depend on the pool size).
+// Not a paper figure — measures the src/parallel/ + src/coverage/ engines
+// on a generator graph. Phase 1: single-root RR batches and mRR batches
+// (the TRIM workload) at each requested thread count, reporting sets/s and
+// speedup over one thread. Phase 2: LazyGreedyMaxCoverage seed selection
+// over one shared collection (the TRIM-B per-round subproblem), reporting
+// picks/s. Checksums are printed per row; identical checksums across
+// thread counts demonstrate both determinism contracts (per-set RNG
+// streams + index-ordered merge for sampling; batched stale-drain with
+// exact (gain, lowest-id) tie-breaking for coverage — neither result
+// depends on the pool size).
 //
-//   --threads 1,2,4,8   thread counts to sweep (ASM_BENCH_THREADS adds one)
-//   --sets 20000        RR-sets per timed batch
-//   --scale 1.0         graph size multiplier
+//   --threads 1,2,4,8     thread counts to sweep (ASM_BENCH_THREADS adds one)
+//   --sets 20000          RR-sets per timed sampling batch
+//   --coverage-sets N     sets in the coverage instance (default 5 × --sets)
+//   --budget N            coverage picks (default η = n/50)
+//   --scale 1.0           graph size multiplier
 //   --model ic|lt
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -23,6 +30,8 @@
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
 #include "benchutil/timer.h"
+#include "coverage/lazy_greedy.h"
+#include "coverage/max_coverage.h"
 #include "graph/generators.h"
 #include "parallel/parallel_sampler.h"
 #include "parallel/thread_pool.h"
@@ -57,6 +66,20 @@ uint64_t CoverageChecksum(const RrCollection& collection) {
     digest ^= word + (digest << 6) + (digest >> 2);
   }
   return digest;
+}
+
+// Order-sensitive digest of a selection: equal iff the pick sequence and
+// every per-pick marginal agree — the bit-identical contract of the
+// parallel coverage path.
+uint64_t SelectionChecksum(const MaxCoverageResult& result) {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < result.selected.size(); ++i) {
+    uint64_t word = (static_cast<uint64_t>(result.selected[i]) << 32) |
+                    result.marginal_coverage[i];
+    word *= 0x100000001b3ULL;
+    digest ^= word + (digest << 6) + (digest >> 2);
+  }
+  return digest ^ result.covered_sets;
 }
 
 }  // namespace
@@ -134,5 +157,51 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "\nRR coverage checksum identical across thread counts: "
             << (deterministic ? "yes" : "NO — determinism violated") << "\n";
-  return deterministic ? 0 : 1;
+
+  // --- Phase 2: parallel greedy coverage (the TRIM-B selection phase) -------
+  // One shared collection (deterministic regardless of how it was sampled),
+  // then LazyGreedyMaxCoverage at each thread count. t = 1 runs the
+  // sequential reference path (no pool), mirroring ParallelEngine's
+  // engagement policy, so speedups are against the true sequential CELF.
+  const size_t coverage_sets = EnvSize(
+      "ASM_BENCH_COVERAGE_SETS",
+      static_cast<size_t>(cli.GetInt("coverage-sets", static_cast<int>(sets * 5))));
+  const NodeId budget = static_cast<NodeId>(cli.GetInt("budget", static_cast<int>(eta)));
+  RrCollection coverage_instance(graph->NumNodes());
+  {
+    ThreadPool pool(threads.back());
+    ParallelRrSampler sampler(*graph, model, pool);
+    Rng rng(seed + 4);
+    sampler.GenerateBatch(candidates, nullptr, coverage_sets, coverage_instance, rng);
+  }
+  std::cout << "\nParallel greedy coverage (LazyGreedyMaxCoverage, |R|="
+            << coverage_instance.NumSets() << ", entries="
+            << coverage_instance.TotalEntries() << ", budget=" << budget << ")\n\n";
+
+  TextTable coverage_table({"threads", "picks/s", "speedup", "selection checksum"});
+  double coverage_base = 0.0;
+  uint64_t reference_selection = 0;
+  bool coverage_deterministic = true;
+  for (size_t t : threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (t != 1) pool = std::make_unique<ThreadPool>(t);
+    // Warm-up run (index + heap allocations), then the timed run.
+    LazyGreedyMaxCoverage(coverage_instance, budget, nullptr, pool.get());
+    WallTimer timer;
+    const MaxCoverageResult result =
+        LazyGreedyMaxCoverage(coverage_instance, budget, nullptr, pool.get());
+    const double seconds = timer.Seconds();
+    const uint64_t checksum = SelectionChecksum(result);
+    if (reference_selection == 0) reference_selection = checksum;
+    coverage_deterministic = coverage_deterministic && checksum == reference_selection;
+    const double rate = static_cast<double>(result.selected.size()) / seconds;
+    if (coverage_base == 0.0) coverage_base = rate;
+    coverage_table.AddRow({std::to_string(t), FormatCount(rate),
+                           FormatDouble(rate / coverage_base) + "x",
+                           std::to_string(checksum % 1000000)});
+  }
+  coverage_table.Print(std::cout);
+  std::cout << "\nSelection checksum identical across thread counts: "
+            << (coverage_deterministic ? "yes" : "NO — determinism violated") << "\n";
+  return deterministic && coverage_deterministic ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "coverage/inverted_index.h"
+#include "coverage/max_coverage.h"
 #include "parallel/parallel_sampler.h"
 #include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
@@ -24,38 +26,24 @@ struct GreedyCurve {
   std::vector<uint32_t> cumulative_coverage;  // after pick i
 };
 
-GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap) {
-  const NodeId n = collection.num_nodes();
+GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap,
+                                ThreadPool* pool) {
   const size_t num_sets = collection.NumSets();
-
-  std::vector<size_t> index_offsets(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] = collection.Coverage(v);
-  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
-  std::vector<uint32_t> index_sets(collection.TotalEntries());
-  {
-    std::vector<size_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
-    for (size_t s = 0; s < num_sets; ++s) {
-      for (NodeId v : collection.Set(s)) {
-        index_sets[cursor[v]++] = static_cast<uint32_t>(s);
-      }
-    }
-  }
+  const InvertedIndex index = BuildInvertedIndex(collection, pool);
 
   std::vector<uint32_t> gain(collection.CoverageCounts());
   BitVector covered(num_sets);
   GreedyCurve curve;
   uint32_t covered_count = 0;
   while (curve.picks.size() < cap && covered_count < num_sets) {
-    NodeId best = 0;
-    for (NodeId v = 1; v < n; ++v) {
-      if (gain[v] > gain[best]) best = v;
-    }
-    if (gain[best] == 0) break;  // nothing left to cover
+    const NodeId best = ArgMaxScore(gain, nullptr, nullptr, pool);
+    if (best == kInvalidNode || gain[best] == 0) break;  // nothing left to cover
     curve.picks.push_back(best);
     covered_count += gain[best];
     curve.cumulative_coverage.push_back(covered_count);
-    for (size_t i = index_offsets[best]; i < index_offsets[best + 1]; ++i) {
-      const uint32_t s = index_sets[i];
+    const auto [begin, end] = index.Range(best);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t s = index.sets[i];
       if (covered.Get(s)) continue;
       covered.Set(s);
       for (NodeId u : collection.Set(s)) --gain[u];
@@ -100,7 +88,7 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
     const double theta = static_cast<double>(collection.NumSets());
     // Greedy can never need more than η picks: each pick either covers a
     // new set or coverage is exhausted.
-    const GreedyCurve curve = GreedyCoverageCurve(collection, eta);
+    const GreedyCurve curve = GreedyCoverageCurve(collection, eta, engine.pool());
 
     // S_u: first prefix whose spread estimate reaches η. Following the
     // empirical behaviour the ASTI paper reports for ATEUC (E[I(S)] ≈ η,

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "coverage/max_coverage.h"
+#include "parallel/parallel_sampler.h"
 #include "sampling/rr_collection.h"
 #include "sampling/rr_set.h"
 #include "util/check.h"
@@ -22,11 +23,17 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   // One shared RR collection serves every k (the greedy curve is nested in
   // k, so a single greedy pass would suffice — but we keep the literal
   // bisection protocol, whose cost profile is what this baseline is for).
-  RrSampler sampler(graph, model);
   RrCollection collection(n);
+  ParallelEngine engine(graph, model, options.num_threads);
   BisectionResult result;
-  while (collection.NumSets() < options.samples) {
-    sampler.Generate(all_nodes, nullptr, collection, rng);
+  if (ParallelRrSampler* parallel = engine.get()) {
+    parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);
+  } else {
+    RrSampler sampler(graph, model);
+    collection.Reserve(options.samples);
+    while (collection.NumSets() < options.samples) {
+      sampler.Generate(all_nodes, nullptr, collection, rng);
+    }
   }
   result.num_samples = collection.NumSets();
   const double theta = static_cast<double>(collection.NumSets());
@@ -34,7 +41,8 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
 
   auto spread_of_k = [&](NodeId k) {
     ++result.im_evaluations;
-    const MaxCoverageResult greedy = GreedyMaxCoverage(collection, k);
+    const MaxCoverageResult greedy =
+        GreedyMaxCoverage(collection, k, nullptr, engine.pool());
     return static_cast<double>(n) * static_cast<double>(greedy.covered_sets) / theta;
   };
 
@@ -53,7 +61,8 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
     }
   }
 
-  const MaxCoverageResult final_greedy = GreedyMaxCoverage(collection, high);
+  const MaxCoverageResult final_greedy =
+      GreedyMaxCoverage(collection, high, nullptr, engine.pool());
   result.seeds = final_greedy.selected;
   result.estimated_spread =
       static_cast<double>(n) * static_cast<double>(final_greedy.covered_sets) / theta;

@@ -24,6 +24,9 @@ namespace asti {
 struct BisectionOptions {
   size_t samples = 8192;      // RR-sets per IM evaluation
   double target_slack = 1.2;  // aim E[I(S)] at slack·η, like ATEUC
+  /// RR generation + greedy coverage workers; semantics as
+  /// TrimOptions::num_threads (one shared pool, per-batch TaskGroups).
+  size_t num_threads = 1;
 };
 
 /// Result of the bisection run.

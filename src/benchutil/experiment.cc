@@ -168,6 +168,7 @@ CellResult RunAteucCell(const DirectedGraph& graph, const CellConfig& config) {
 CellResult RunBisectionCell(const DirectedGraph& graph, const CellConfig& config) {
   Rng select_rng = StreamFor(config.seed, kBisectionDomain, 0);
   BisectionOptions options;
+  options.num_threads = config.num_threads;
   WallTimer select_timer;
   const BisectionResult selection =
       RunBisectionSeedMin(graph, config.model, config.eta, options, select_rng);

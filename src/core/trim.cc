@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "coverage/max_coverage.h"
 #include "stats/concentration.h"
 #include "util/check.h"
 
@@ -70,7 +71,7 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
 
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
-    const NodeId v_star = collection_.ArgMaxCoverage();
+    const NodeId v_star = ArgMaxCoverage(collection_, engine_.pool());
     const double coverage = static_cast<double>(collection_.Coverage(v_star));
     const double lower = CoverageLowerBound(coverage, schedule.a1);
     const double upper = CoverageUpperBound(coverage, schedule.a2);

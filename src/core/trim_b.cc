@@ -81,9 +81,10 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
     // CELF lazy greedy: identical selection to the eager version (see
-    // lazy_greedy_test), without the O(b·n) argmax rescans.
+    // lazy_greedy_test), without the O(b·n) argmax rescans. Shares the
+    // sampling pool; results are thread-count-invariant.
     const MaxCoverageResult greedy =
-        LazyGreedyMaxCoverage(collection_, batch, view.inactive_nodes);
+        LazyGreedyMaxCoverage(collection_, batch, view.inactive_nodes, engine_.pool());
     const double coverage = static_cast<double>(greedy.covered_sets);
     const double lower = CoverageLowerBound(coverage, schedule.a1);
     const double upper =

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "coverage/max_coverage.h"
 #include "stats/concentration.h"
 #include "util/check.h"
 
@@ -53,7 +54,7 @@ SelectionResult TrimTwoGroup::SelectBatch(const ResidualView& view, Rng& rng) {
 
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
-    const NodeId v_star = derive_.ArgMaxCoverage();
+    const NodeId v_star = ArgMaxCoverage(derive_, engine_.pool());
     const double derive_coverage = static_cast<double>(derive_.Coverage(v_star));
     const double validate_coverage =
         static_cast<double>(validate_.Coverage(v_star));

@@ -1,0 +1,40 @@
+// Node → set-id inverted index over an RrCollection.
+//
+// Every coverage solver starts from the same structure: for each node v,
+// the ids of the stored sets containing v, in ascending set order (CSR
+// layout: offsets + flat id array). Built by counting sort over the pool —
+// sequentially, or fanned across a ThreadPool with per-chunk counting-sort
+// partitions over contiguous set ranges. Chunk c's entries for a node land
+// after chunk c-1's, so the ascending-set-id order (and therefore the
+// produced index) is bit-identical to the sequential build at every thread
+// count.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "parallel/thread_pool.h"
+#include "sampling/rr_collection.h"
+
+namespace asti {
+
+/// CSR-style node → set-id index: sets containing v are
+/// sets[offsets[v] .. offsets[v + 1]), ascending.
+struct InvertedIndex {
+  std::vector<size_t> offsets;  // size num_nodes + 1
+  std::vector<uint32_t> sets;   // size collection.TotalEntries()
+
+  /// Sets containing v, ascending set id.
+  std::pair<size_t, size_t> Range(NodeId v) const {
+    return {offsets[v], offsets[v + 1]};
+  }
+};
+
+/// Builds the index; with a non-null multi-worker `pool` the counting sort
+/// runs as parallel per-chunk partitions. Output is identical either way.
+InvertedIndex BuildInvertedIndex(const RrCollection& collection,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace asti

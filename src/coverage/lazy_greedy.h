@@ -5,16 +5,26 @@
 // touching only nodes whose cached gain might still be the maximum. On the
 // sparse coverage instances TRIM-B produces, this avoids the O(b·n) argmax
 // scans; the micro bench quantifies the gap.
+//
+// With a multi-worker `pool`, stale heap entries are drained in geometric
+// batches and their fresh gains re-evaluated concurrently over the node →
+// set inverted index (see src/parallel/README.md, "Parallel greedy
+// coverage"). Selection is provably the (gain, lowest-node-id) argmax at
+// every pick regardless of batch boundaries, so the parallel path returns
+// bit-identical results to the sequential one at every thread count.
 
 #pragma once
 
 #include "coverage/max_coverage.h"
+#include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 
 namespace asti {
 
-/// Lazy (CELF) variant of GreedyMaxCoverage; identical result contract.
+/// Lazy (CELF) variant of GreedyMaxCoverage; identical result contract
+/// (including candidate deduplication and thread-count invariance).
 MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
-                                        const std::vector<NodeId>* candidates = nullptr);
+                                        const std::vector<NodeId>* candidates = nullptr,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace asti

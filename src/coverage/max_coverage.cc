@@ -3,60 +3,105 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/bit_vector.h"
+#include "coverage/inverted_index.h"
 #include "util/check.h"
 
 namespace asti {
 
+namespace {
+
+// Below this scan size the chunk fan-out costs more than the scan itself.
+constexpr size_t kMinParallelScan = 1 << 12;
+
+}  // namespace
+
+std::vector<NodeId> DedupeCandidates(const std::vector<NodeId>& candidates, NodeId n) {
+  std::vector<NodeId> unique;
+  unique.reserve(candidates.size());
+  BitVector seen(n);
+  for (NodeId v : candidates) {
+    ASM_CHECK(v < n) << "candidate out of range";
+    if (seen.Get(v)) continue;
+    seen.Set(v);
+    unique.push_back(v);
+  }
+  return unique;
+}
+
+NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>* domain,
+                   const BitVector* skip, ThreadPool* pool) {
+  const size_t count = domain != nullptr ? domain->size() : score.size();
+  auto node_at = [&](size_t i) {
+    return domain != nullptr ? (*domain)[i] : static_cast<NodeId>(i);
+  };
+  // Chunk-local scans use the same (score, lowest id) rule as the merge, so
+  // the winner matches a single ascending scan for any chunking.
+  auto scan = [&](size_t begin, size_t end) {
+    NodeId best = kInvalidNode;
+    for (size_t i = begin; i < end; ++i) {
+      const NodeId v = node_at(i);
+      if (skip != nullptr && skip->Get(v)) continue;
+      if (best == kInvalidNode || score[v] > score[best] ||
+          (score[v] == score[best] && v < best)) {
+        best = v;
+      }
+    }
+    return best;
+  };
+  if (pool == nullptr || pool->NumThreads() <= 1 || count < kMinParallelScan) {
+    return scan(0, count);
+  }
+  std::vector<NodeId> chunk_best(std::min(count, pool->NumThreads()), kInvalidNode);
+  pool->ParallelFor(count, [&](size_t chunk, size_t begin, size_t end) {
+    chunk_best[chunk] = scan(begin, end);
+  });
+  NodeId best = kInvalidNode;
+  for (NodeId v : chunk_best) {
+    if (v == kInvalidNode) continue;
+    if (best == kInvalidNode || score[v] > score[best] ||
+        (score[v] == score[best] && v < best)) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool) {
+  ASM_CHECK(collection.num_nodes() > 0);
+  return ArgMaxScore(collection.CoverageCounts(), nullptr, nullptr, pool);
+}
+
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
-                                    const std::vector<NodeId>* candidates) {
+                                    const std::vector<NodeId>* candidates,
+                                    ThreadPool* pool) {
   ASM_CHECK(budget >= 1);
   const NodeId n = collection.num_nodes();
   const size_t num_sets = collection.NumSets();
   MaxCoverageResult result;
 
-  // Inverted index node -> set ids, built by counting sort over the pool.
-  std::vector<size_t> index_offsets(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] = collection.Coverage(v);
-  for (NodeId v = 0; v < n; ++v) index_offsets[v + 1] += index_offsets[v];
-  std::vector<uint32_t> index_sets(collection.TotalEntries());
-  {
-    std::vector<size_t> cursor(index_offsets.begin(), index_offsets.end() - 1);
-    for (size_t s = 0; s < num_sets; ++s) {
-      for (NodeId v : collection.Set(s)) {
-        index_sets[cursor[v]++] = static_cast<uint32_t>(s);
-      }
-    }
-  }
+  const InvertedIndex index = BuildInvertedIndex(collection, pool);
+
+  std::vector<NodeId> unique_candidates;
+  if (candidates != nullptr) unique_candidates = DedupeCandidates(*candidates, n);
+  const std::vector<NodeId>* domain = candidates != nullptr ? &unique_candidates : nullptr;
 
   std::vector<uint32_t> gain(collection.CoverageCounts());
   BitVector covered(num_sets);
   BitVector taken(n);
   const size_t pool_size =
-      candidates == nullptr ? static_cast<size_t>(n) : candidates->size();
+      domain == nullptr ? static_cast<size_t>(n) : domain->size();
   const size_t picks = std::min<size_t>(budget, pool_size);
   for (size_t pick = 0; pick < picks; ++pick) {
-    NodeId best = kInvalidNode;
-    auto consider = [&](NodeId v) {
-      if (taken.Get(v)) return;
-      if (best == kInvalidNode || gain[v] > gain[best] ||
-          (gain[v] == gain[best] && v < best)) {
-        best = v;
-      }
-    };
-    if (candidates == nullptr) {
-      for (NodeId v = 0; v < n; ++v) consider(v);
-    } else {
-      for (NodeId v : *candidates) consider(v);
-    }
+    const NodeId best = ArgMaxScore(gain, domain, &taken, pool);
     ASM_CHECK(best != kInvalidNode);
     taken.Set(best);
     result.selected.push_back(best);
     result.marginal_coverage.push_back(gain[best]);
     result.covered_sets += gain[best];
     // Mark best's uncovered sets covered; members of those sets lose gain.
-    for (size_t i = index_offsets[best]; i < index_offsets[best + 1]; ++i) {
-      const uint32_t s = index_sets[i];
+    const auto [begin, end] = index.Range(best);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t s = index.sets[i];
       if (covered.Get(s)) continue;
       covered.Set(s);
       for (NodeId u : collection.Set(s)) --gain[u];

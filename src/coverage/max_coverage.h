@@ -5,12 +5,19 @@
 // is the classical linear-time greedy with approximation factor
 // ρ_b = 1 − (1 − 1/b)^b; ExactMaxCoverage is exponential-time brute force
 // used by tests to validate that factor.
+//
+// Every solver accepts an optional ThreadPool. With a multi-worker pool the
+// inverted-index build and the argmax / gain scans fan out across workers
+// while keeping the (gain, lowest-node-id) selection rule exact, so results
+// are bit-identical to the sequential path at every thread count.
 
 #pragma once
 
 #include <vector>
 
+#include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
+#include "util/bit_vector.h"
 
 namespace asti {
 
@@ -25,9 +32,12 @@ struct MaxCoverageResult {
 /// O(Σ|R| + b·n). Picks fewer than b nodes only if b exceeds the candidate
 /// pool. When `candidates` is non-null, only those nodes may be picked —
 /// TRIM-B passes the residual node list so zero-gain filler picks can never
-/// land on an already-active node.
+/// land on an already-active node. Duplicate candidate entries are
+/// deduplicated (a node is selected at most once; the pool size counts
+/// unique nodes). `pool` parallelizes the per-pick argmax scans.
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
-                                    const std::vector<NodeId>* candidates = nullptr);
+                                    const std::vector<NodeId>* candidates = nullptr,
+                                    ThreadPool* pool = nullptr);
 
 /// ρ_b = 1 − (1 − 1/b)^b, the greedy guarantee used throughout TRIM-B.
 double GreedyCoverageRatio(NodeId budget);
@@ -35,5 +45,27 @@ double GreedyCoverageRatio(NodeId budget);
 /// Exhaustive optimum over all size-`budget` subsets of [0, n).
 /// Exponential; only for small test instances (n choose b ≤ ~1e6).
 MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget);
+
+/// Node maximizing score[v] with the (score, lowest id) rule, scanning
+/// [0, score.size()) or `domain` when non-null, skipping nodes with
+/// skip.Get(v) set when `skip` is non-null. A multi-worker `pool` splits
+/// the scan into chunk-local argmaxes merged in chunk order — same result
+/// as the sequential scan for every thread count. Returns kInvalidNode iff
+/// no node is eligible.
+NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>* domain,
+                   const BitVector* skip, ThreadPool* pool);
+
+/// Λ_R argmax over the collection's coverage counts ((coverage, lowest id)
+/// rule) — RrCollection::ArgMaxCoverage with an optional pool behind it.
+/// The b = 1 selection TRIM/AdaptIM run every certify iteration.
+NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool);
+
+/// First occurrence of every node in `candidates`, later duplicates
+/// dropped; checks every entry against [0, n). The shared guard behind the
+/// greedy solvers' candidate contract: a duplicated candidate must not
+/// yield two picks of the same node (the second would re-evaluate to gain
+/// 0 and be accepted as a filler pick, corrupting TRIM-B's residual-list
+/// contract), and the effective pool size counts unique nodes.
+std::vector<NodeId> DedupeCandidates(const std::vector<NodeId>& candidates, NodeId n);
 
 }  // namespace asti

@@ -93,6 +93,11 @@ class ParallelEngine {
   /// The batch sampler, or nullptr when running sequentially.
   ParallelRrSampler* get() { return sampler_.get(); }
 
+  /// The shared worker pool, or nullptr when running sequentially. Coverage
+  /// solvers reuse this pool (one pool per selector, never a second one);
+  /// per-batch TaskGroup tracking keeps concurrent users isolated.
+  ThreadPool* pool() { return pool_.get(); }
+
  private:
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ParallelRrSampler> sampler_;

@@ -12,6 +12,29 @@ namespace {
 constexpr size_t kMaxThreads = 4096;
 }  // namespace
 
+TaskGroup::~TaskGroup() {
+  // A group destroyed with tasks in flight would leave workers decrementing
+  // a dead counter; the owner must Wait() first.
+  std::unique_lock<std::mutex> lock(mutex_);
+  ASM_CHECK(pending_ == 0) << "TaskGroup destroyed with tasks in flight";
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Add() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++pending_;
+}
+
+void TaskGroup::Finish() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ASM_CHECK(pending_ > 0);
+  if (--pending_ == 0) done_.notify_all();
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -33,51 +56,49 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(TaskGroup& group, std::function<void()> task) {
   ASM_CHECK(task != nullptr);
+  group.Add();
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-    ++unfinished_;
+    queue_.emplace_back(std::move(task), &group);
   }
   task_ready_.notify_one();
-}
-
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    TaskGroup* group = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().first);
+      group = queue_.front().second;
       queue_.pop_front();
     }
     task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--unfinished_ == 0) all_done_.notify_all();
-    }
+    group->Finish();
   }
 }
 
 void ThreadPool::ParallelFor(
     size_t count, const std::function<void(size_t chunk, size_t begin, size_t end)>& fn) {
   if (count == 0) return;
+  // A private group per call: two threads running ParallelFor on the same
+  // pool each block until exactly their own chunks finish, even while the
+  // pool also holds unrelated (possibly long-blocking) tasks.
+  TaskGroup group;
   const size_t chunks = std::min(count, NumThreads());
   const size_t chunk_size = (count + chunks - 1) / chunks;
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * chunk_size;
     if (begin >= count) break;  // ceil division can leave trailing chunks empty
     const size_t end = std::min(count, begin + chunk_size);
-    Submit([&fn, c, begin, end] { fn(c, begin, end); });
+    Submit(group, [&fn, c, begin, end] { fn(c, begin, end); });
   }
-  Wait();
+  group.Wait();
 }
 
 }  // namespace asti

@@ -33,6 +33,12 @@ void RrCollection::Reserve(size_t extra_sets) {
 
 void RrCollection::AppendBatch(const RrSetBuffer& buffer) {
   ASM_DCHECK(pool_.size() == offsets_.back()) << "append during an in-progress set";
+  // Λ_R(v) ≤ NumSets() always, so bounding the set count below 2^32 keeps
+  // every uint32_t coverage counter (and the uint32_t set ids of the
+  // coverage solvers' inverted indexes) from wrapping. Billion-set
+  // collections must fail loudly, not corrupt Λ_R(v).
+  ASM_CHECK(buffer.NumSets() <= kMaxSets - NumSets())
+      << "RrCollection overflow: " << NumSets() << " + " << buffer.NumSets() << " sets";
   const std::vector<size_t>& offsets = buffer.offsets();
   const std::vector<NodeId>& pool = buffer.pool();
   const size_t sealed_entries = offsets.back();  // ignore any unsealed tail
@@ -50,7 +56,12 @@ void RrCollection::AppendBatch(const RrSetBuffer& buffer) {
 void RrCollection::SealSet() {
   const size_t begin = offsets_.back();
   ASM_CHECK(pool_.size() > begin) << "sealing an empty RR-set";
-  for (size_t i = begin; i < pool_.size(); ++i) ++coverage_[pool_[i]];
+  // See AppendBatch: the set-count bound saturates coverage_ loudly.
+  ASM_CHECK(NumSets() < kMaxSets) << "RrCollection overflow: 2^32 - 1 sets";
+  for (size_t i = begin; i < pool_.size(); ++i) {
+    ASM_DCHECK(coverage_[pool_[i]] < kMaxSets);
+    ++coverage_[pool_[i]];
+  }
   offsets_.push_back(pool_.size());
 }
 

@@ -19,6 +19,11 @@ namespace asti {
 /// Collection R of reverse-reachable sets over nodes [0, n).
 class RrCollection {
  public:
+  /// Hard cap on NumSets(): coverage counters are uint32_t and Λ_R(v) can
+  /// reach the set count, so growth past this fails an ASM_CHECK instead of
+  /// silently wrapping Λ_R(v).
+  static constexpr size_t kMaxSets = 0xffffffffULL;
+
   explicit RrCollection(NodeId num_nodes)
       : num_nodes_(num_nodes), coverage_(num_nodes, 0) {}
 

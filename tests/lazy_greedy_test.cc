@@ -70,6 +70,24 @@ TEST(LazyGreedyTest, HonorsCandidateRestriction) {
   EXPECT_EQ(lazy.selected, eager.selected);
 }
 
+TEST(LazyGreedyTest, DuplicateCandidatesSelectedAtMostOnce) {
+  // Regression: a duplicated candidate used to get two heap entries, and
+  // the second pop re-evaluated to gain 0 and was accepted as a filler
+  // pick — returning the same node twice and corrupting TRIM-B's
+  // residual-list contract.
+  const RrCollection collection = RandomCollection(12, 60, 7);
+  std::vector<NodeId> candidates = {4, 4, 9, 4, 9, 2};
+  const MaxCoverageResult lazy = LazyGreedyMaxCoverage(collection, 5, &candidates);
+  EXPECT_EQ(lazy.selected.size(), 3u);  // pool counts unique nodes
+  std::set<NodeId> unique(lazy.selected.begin(), lazy.selected.end());
+  EXPECT_EQ(unique.size(), lazy.selected.size());
+  // Same result as the deduplicated candidate list.
+  std::vector<NodeId> deduped = {4, 9, 2};
+  const MaxCoverageResult reference = LazyGreedyMaxCoverage(collection, 5, &deduped);
+  EXPECT_EQ(lazy.selected, reference.selected);
+  EXPECT_EQ(lazy.marginal_coverage, reference.marginal_coverage);
+}
+
 TEST(LazyGreedyTest, BudgetBeyondCandidatesClamps) {
   const RrCollection collection = RandomCollection(10, 30, 9);
   std::vector<NodeId> candidates = {1, 2};

@@ -131,6 +131,19 @@ TEST(GreedyMaxCoverageTest, NeverPicksTheSameNodeTwice) {
   EXPECT_EQ(unique.size(), result.selected.size());
 }
 
+TEST(GreedyMaxCoverageTest, DuplicateCandidatesSelectedAtMostOnce) {
+  // Same guard as LazyGreedyMaxCoverage: duplicates in `candidates` must
+  // not inflate the pick pool (the eager path used to crash its
+  // best != kInvalidNode check once every unique candidate was taken).
+  const RrCollection collection = FromSets(6, {{1, 5}, {5}, {3}});
+  const std::vector<NodeId> candidates = {5, 5, 3, 5};
+  const MaxCoverageResult result = GreedyMaxCoverage(collection, 4, &candidates);
+  EXPECT_EQ(result.selected.size(), 2u);
+  std::set<NodeId> unique(result.selected.begin(), result.selected.end());
+  EXPECT_EQ(unique.size(), result.selected.size());
+  EXPECT_EQ(result.covered_sets, 3u);
+}
+
 TEST(GreedyCoverageRatioTest, KnownValues) {
   EXPECT_DOUBLE_EQ(GreedyCoverageRatio(1), 1.0);
   EXPECT_DOUBLE_EQ(GreedyCoverageRatio(2), 0.75);

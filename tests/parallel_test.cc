@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/asti.h"
@@ -105,6 +107,64 @@ TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanThreads) {
   EXPECT_EQ(counter.load(), 3);
   pool.ParallelFor(0, [&](size_t, size_t, size_t) { counter.fetch_add(1000); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitForBatchIgnoresOtherCallersTasks) {
+  // Regression: Wait() used to block on a pool-global counter, so a caller
+  // sharing the pool with a long-running (here: deliberately blocked) task
+  // would wait for it. With per-batch TaskGroups, ParallelFor must return
+  // as soon as its own chunks finish — under the old code this deadlocks
+  // (ParallelFor waits on the blocked task, which we release only after).
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  TaskGroup blocked;
+  pool.Submit(blocked, [gate] { gate.wait(); });
+
+  std::atomic<int> counter{0};
+  pool.ParallelFor(1, [&](size_t, size_t begin, size_t end) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 1);  // returned while the other task still runs
+
+  release.set_value();
+  blocked.Wait();
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersAreIsolated) {
+  // Two caller threads hammer one shared pool; each must observe exactly
+  // its own items completed at every ParallelFor return. Also the TSAN
+  // workload for the shared-pool protocol.
+  ThreadPool pool(4);
+  auto caller = [&pool](size_t items, int reps) {
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<std::atomic<int>> touched(items);
+      pool.ParallelFor(items, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+      });
+      for (const auto& t : touched) ASSERT_EQ(t.load(), 1);
+    }
+  };
+  std::thread a(caller, 193, 25);
+  std::thread b(caller, 401, 25);
+  a.join();
+  b.join();
+}
+
+TEST(ThreadPoolTest, TaskGroupsTrackTheirOwnBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  TaskGroup group_a;
+  TaskGroup group_b;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit(group_a, [&first] { first.fetch_add(1); });
+    pool.Submit(group_b, [&second] { second.fetch_add(1); });
+  }
+  group_a.Wait();
+  EXPECT_EQ(first.load(), 20);
+  group_b.Wait();
+  EXPECT_EQ(second.load(), 20);
 }
 
 TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
