@@ -1,0 +1,156 @@
+// SeedMinEngine serving throughput: queries/s vs concurrent clients.
+//
+// Not a paper figure — measures the src/api/ serving front. One resident
+// engine (shared pool) serves Q mixed-algorithm SolveRequests at each
+// requested client concurrency: C requests are kept in flight via
+// SubmitAsync until the queue drains. Each request's RNG streams derive
+// from its own seed, so the per-request results — and therefore the
+// cross-client determinism checksum printed per row — must be identical at
+// every concurrency level; the binary exits non-zero on a mismatch, like
+// bench_parallel_scaling.
+//
+//   --clients 1,2,4,8     client concurrency levels to sweep
+//   --queries 24          requests per level
+//   --threads 0           engine pool size (0 = all cores, 1 = sequential)
+//   --eta-fraction 0.05   per-request threshold
+//   --scale 1.0           graph size multiplier
+//   --model ic|lt
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/seedmin_engine.h"
+#include "benchutil/cli.h"
+#include "benchutil/table.h"
+#include "benchutil/timer.h"
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace asti {
+namespace {
+
+// Order-sensitive digest over every request's observable outcome.
+uint64_t ResultChecksum(const std::vector<StatusOr<SolveResult>>& results) {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  auto mix = [&digest](uint64_t word) {
+    word *= 0x100000001b3ULL;
+    digest ^= word + (digest << 6) + (digest >> 2);
+  };
+  for (const StatusOr<SolveResult>& solved : results) {
+    ASM_CHECK(solved.ok()) << solved.status().ToString();
+    for (const AdaptiveRunTrace& trace : solved->traces) {
+      for (NodeId seed : trace.seeds) mix(seed);
+      mix(trace.total_activated);
+    }
+    for (size_t count : solved->seed_counts) mix(count);
+  }
+  return digest;
+}
+
+}  // namespace
+}  // namespace asti
+
+int main(int argc, char** argv) {
+  using namespace asti;
+  const CommandLine cli(argc, argv);
+  const double scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", 1.0));
+  const size_t queries = EnvSize("ASM_BENCH_QUERIES",
+                                 static_cast<size_t>(cli.GetInt("queries", 24)));
+  ASM_CHECK(queries >= 1) << "--queries must be >= 1";
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  const DiffusionModel model = cli.GetString("model", "ic") == "lt"
+                                   ? DiffusionModel::kLinearThreshold
+                                   : DiffusionModel::kIndependentCascade;
+  const std::vector<size_t> client_counts =
+      ParseSizeList(cli.GetString("clients", "1,2,4,8"), "--clients", 1);
+  const size_t pool_threads = NumThreadsOverride(cli, 0);
+
+  // Power-law generator graph, the regime of the paper's datasets.
+  const NodeId n = static_cast<NodeId>(8000 * scale);
+  const size_t m = static_cast<size_t>(48000 * scale);
+  Rng graph_rng(seed);
+  auto graph = BuildWeightedGraph(MakeChungLu(n, m, 2.1, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASM_CHECK(graph.ok()) << graph.status().ToString();
+  const NodeId eta = std::max<NodeId>(
+      1, static_cast<NodeId>(cli.GetDouble("eta-fraction", 0.05) *
+                             graph->NumNodes()));
+
+  // The request mix: the TRIM family plus the degree heuristic, each query
+  // with its own seed (query i is reproducible in isolation).
+  const AlgorithmId mix[] = {AlgorithmId::kAsti, AlgorithmId::kAsti4,
+                             AlgorithmId::kDegree};
+  std::vector<SolveRequest> requests;
+  for (size_t i = 0; i < queries; ++i) {
+    SolveRequest request;
+    request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
+    request.model = model;
+    request.eta = eta;
+    request.seed = seed + 1000 + i;
+    request.keep_traces = true;  // checksummed
+    requests.push_back(request);
+  }
+
+  SeedMinEngine engine(*graph, {pool_threads});
+  std::cout << "SeedMinEngine serving throughput on Chung-Lu graph (n="
+            << graph->NumNodes() << ", m=" << graph->NumEdges()
+            << ", model=" << DiffusionModelName(model) << ", eta=" << eta
+            << ", queries/level=" << queries << ", pool="
+            << (engine.pool() != nullptr ? engine.pool()->NumThreads() : 1)
+            << " threads)\n\n";
+
+  TextTable table({"clients", "queries/s", "speedup", "checksum"});
+  double base_rate = 0.0;
+  uint64_t reference_checksum = 0;
+  bool deterministic = true;
+  for (size_t clients : client_counts) {
+    std::vector<StatusOr<SolveResult>> results;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results.emplace_back(Status::Internal("not served"));
+    }
+    WallTimer timer;
+    // Sliding window: keep `clients` requests in flight until all served.
+    // Harvest ANY ready future (not just the oldest) so one slow request
+    // can't head-of-line-block the window and under-fill the concurrency
+    // level being measured.
+    std::vector<std::pair<size_t, std::future<StatusOr<SolveResult>>>> in_flight;
+    size_t next = 0;
+    while (next < requests.size() || !in_flight.empty()) {
+      while (next < requests.size() && in_flight.size() < clients) {
+        in_flight.emplace_back(next, engine.SubmitAsync(requests[next]));
+        ++next;
+      }
+      bool harvested = false;
+      for (size_t j = 0; j < in_flight.size(); ++j) {
+        if (in_flight[j].second.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          results[in_flight[j].first] = in_flight[j].second.get();
+          in_flight.erase(in_flight.begin() + static_cast<ptrdiff_t>(j));
+          harvested = true;
+          break;
+        }
+      }
+      if (!harvested) {
+        in_flight.front().second.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    const double seconds = timer.Seconds();
+    const uint64_t checksum = ResultChecksum(results);
+    if (reference_checksum == 0) reference_checksum = checksum;
+    deterministic = deterministic && checksum == reference_checksum;
+    const double rate = static_cast<double>(queries) / seconds;
+    if (base_rate == 0.0) base_rate = rate;
+    table.AddRow({std::to_string(clients), FormatDouble(rate, 1),
+                  FormatDouble(rate / base_rate) + "x",
+                  std::to_string(checksum % 1000000)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nResult checksum identical across client counts: "
+            << (deterministic ? "yes" : "NO — determinism violated") << "\n";
+  return deterministic ? 0 : 1;
+}

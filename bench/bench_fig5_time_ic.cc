@@ -14,12 +14,12 @@
 int main(int argc, char** argv) {
   using namespace asti;
   SweepOptions options;
-  options.model = DiffusionModel::kIndependentCascade;
-  options.keep_traces = true;  // for the supplementary sample-count table
+  options.base.model = DiffusionModel::kIndependentCascade;
+  options.base.keep_traces = true;  // for the supplementary sample-count table
   ApplyStandardOverrides(argc, argv, options);
 
   std::cout << "Figure 5: running time (seconds) vs threshold (IC model), scale="
-            << options.scale << ", realizations=" << options.realizations << "\n";
+            << options.scale << ", realizations=" << options.base.realizations << "\n";
   const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
     ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
                    << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)

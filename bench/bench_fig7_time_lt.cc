@@ -12,11 +12,11 @@
 int main(int argc, char** argv) {
   using namespace asti;
   SweepOptions options;
-  options.model = DiffusionModel::kLinearThreshold;
+  options.base.model = DiffusionModel::kLinearThreshold;
   ApplyStandardOverrides(argc, argv, options);
 
   std::cout << "Figure 7: running time (seconds) vs threshold (LT model), scale="
-            << options.scale << ", realizations=" << options.realizations << "\n";
+            << options.scale << ", realizations=" << options.base.realizations << "\n";
   const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
     ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
                    << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)

@@ -13,11 +13,11 @@
 int main(int argc, char** argv) {
   using namespace asti;
   SweepOptions options;
-  options.model = DiffusionModel::kIndependentCascade;
+  options.base.model = DiffusionModel::kIndependentCascade;
   ApplyStandardOverrides(argc, argv, options);
 
   std::cout << "Figure 9: average spread vs threshold (IC model), scale="
-            << options.scale << ", realizations=" << options.realizations << "\n";
+            << options.scale << ", realizations=" << options.base.realizations << "\n";
   const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
     ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
                    << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)

@@ -41,20 +41,6 @@
 namespace asti {
 namespace {
 
-std::vector<size_t> ParseThreadList(const std::string& spec) {
-  std::vector<size_t> threads;
-  std::stringstream stream(spec);
-  std::string token;
-  while (std::getline(stream, token, ',')) {
-    if (token.empty()) continue;
-    ASM_CHECK(token.find_first_not_of("0123456789") == std::string::npos)
-        << "--threads expects a comma-separated list of counts, got '" << token << "'";
-    threads.push_back(static_cast<size_t>(std::stoull(token)));
-  }
-  ASM_CHECK(!threads.empty()) << "empty --threads list";
-  return threads;
-}
-
 // Order-independent digest of the coverage vector: equal across runs iff
 // the stored sets are identical (up to node multiset, which suffices here
 // because the engine also fixes the order).
@@ -95,7 +81,8 @@ int main(int argc, char** argv) {
   const DiffusionModel model = cli.GetString("model", "ic") == "lt"
                                    ? DiffusionModel::kLinearThreshold
                                    : DiffusionModel::kIndependentCascade;
-  std::vector<size_t> threads = ParseThreadList(cli.GetString("threads", "1,2,4,8"));
+  std::vector<size_t> threads =
+      ParseSizeList(cli.GetString("threads", "1,2,4,8"), "--threads");
   const size_t env_threads = EnvSize("ASM_BENCH_THREADS", 0);
   if (env_threads != 0) threads.push_back(env_threads);
 

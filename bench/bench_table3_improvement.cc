@@ -17,12 +17,12 @@ int main(int argc, char** argv) {
   base.algorithms = {AlgorithmId::kAsti, AlgorithmId::kAteuc};
 
   std::cout << "Table 3: improvement ratio of ASTI over ATEUC, scale=" << base.scale
-            << ", realizations=" << base.realizations << "\n"
+            << ", realizations=" << base.base.realizations << "\n"
             << "(N/A: ATEUC missed the threshold on some realization)\n";
   for (DiffusionModel model :
        {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold}) {
     SweepOptions options = base;
-    options.model = model;
+    options.base.model = model;
     const auto cells = RunEvaluationSweep(options, [](const SweepCell& cell) {
       ASM_LOG(kInfo) << GetDatasetInfo(cell.dataset).name << " eta/n="
                      << cell.eta_fraction << " " << AlgorithmName(cell.algorithm)

@@ -3,29 +3,30 @@
 // The "bring your own data" entry point: load a weighted edge list (or
 // name a built-in surrogate), pick a diffusion model, algorithm, and
 // threshold, and get the per-round trace plus an optional archive file.
+// Queries are served by the SeedMinEngine façade, so every algorithm in
+// the registry — including the non-adaptive ATEUC/Bisection baselines —
+// is available, bad inputs come back as readable errors instead of
+// crashes, and runs follow the §6 protocol (hidden worlds derived from
+// --seed, shared across algorithms).
 //
 // Usage:
 //   asm_tool --graph edges.txt --eta 500
 //   asm_tool --dataset nethept --scale 0.2 --eta-fraction 0.05 \
 //            --model LT --algorithm ASTI-4 --runs 3 --save-traces out.tr
+//   asm_tool --list-algorithms
 //
 // Flags: --graph PATH | --dataset NAME [--scale S], --eta N |
-// --eta-fraction F, --model IC|LT, --algorithm ASTI|ASTI-b|AdaptIM|Degree,
-// --epsilon E, --threads T (1 = sequential, 0 = all cores), --runs R,
-// --seed S, --save-traces PATH, --quiet.
+// --eta-fraction F, --model IC|LT, --algorithm NAME (see
+// --list-algorithms; ASTI-b accepts any b >= 1), --epsilon E, --threads T
+// (1 = sequential, 0 = all cores), --runs R, --seed S, --save-traces PATH,
+// --quiet.
 
 #include <iostream>
-#include <memory>
 
-#include "baselines/adaptim.h"
-#include "baselines/degree_adaptive.h"
+#include "api/seedmin_engine.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
-#include "core/asti.h"
 #include "core/trace_io.h"
-#include "core/trim.h"
-#include "core/trim_b.h"
-#include "diffusion/world.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
 
@@ -45,43 +46,22 @@ StatusOr<DirectedGraph> LoadGraph(const CommandLine& cli) {
                               static_cast<uint64_t>(cli.GetInt("seed", 7)));
 }
 
-StatusOr<std::unique_ptr<RoundSelector>> MakeSelector(const CommandLine& cli,
-                                                      const DirectedGraph& graph,
-                                                      DiffusionModel model) {
-  const std::string name = cli.GetString("algorithm", "ASTI");
-  const double epsilon = cli.GetDouble("epsilon", 0.5);
-  const size_t num_threads = static_cast<size_t>(cli.GetInt("threads", 1));
-  if (name == "ASTI") {
-    TrimOptions options;
-    options.epsilon = epsilon;
-    options.num_threads = num_threads;
-    return std::unique_ptr<RoundSelector>(std::make_unique<Trim>(graph, model, options));
+int ListAlgorithms() {
+  TextTable table({"id", "kind", "paper name"});
+  for (const AlgorithmInfo& info : AlgorithmRegistry::List()) {
+    table.AddRow({info.name, info.adaptive ? "adaptive" : "one-shot",
+                  info.paper_name});
   }
-  if (name.rfind("ASTI-", 0) == 0) {
-    const int batch = std::atoi(name.c_str() + 5);
-    if (batch < 1) return Status::InvalidArgument("bad batch size in '" + name + "'");
-    TrimBOptions options;
-    options.epsilon = epsilon;
-    options.batch_size = static_cast<NodeId>(batch);
-    options.num_threads = num_threads;
-    return std::unique_ptr<RoundSelector>(std::make_unique<TrimB>(graph, model, options));
-  }
-  if (name == "AdaptIM") {
-    AdaptImOptions options;
-    options.epsilon = epsilon;
-    options.num_threads = num_threads;
-    return std::unique_ptr<RoundSelector>(
-        std::make_unique<AdaptIm>(graph, model, options));
-  }
-  if (name == "Degree") {
-    return std::unique_ptr<RoundSelector>(std::make_unique<DegreeAdaptive>(graph));
-  }
-  return Status::InvalidArgument("unknown algorithm '" + name +
-                                 "' (ASTI, ASTI-b, AdaptIM, Degree)");
+  table.Print(std::cout);
+  std::cout << "\nASTI-b is accepted for any batch size b >= 1 "
+               "(b = 1 is plain TRIM = ASTI; b > 1 runs TRIM-B with that b).\n";
+  return 0;
 }
 
 int Run(int argc, char** argv) {
   const CommandLine cli(argc, argv);
+  if (cli.Has("list-algorithms")) return ListAlgorithms();
+
   auto graph = LoadGraph(cli);
   if (!graph.ok()) {
     std::cerr << "graph: " << graph.status().ToString() << "\n";
@@ -92,34 +72,62 @@ int Run(int argc, char** argv) {
   if (eta == 0) {
     eta = static_cast<NodeId>(cli.GetDouble("eta-fraction", 0.05) * n);
   }
-  if (eta < 1 || eta > n) {
-    std::cerr << "eta " << eta << " outside [1, " << n << "]\n";
+
+  const std::string algorithm_name = cli.GetString("algorithm", "ASTI");
+  auto spec = AlgorithmRegistry::Parse(algorithm_name);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
     return 1;
   }
-  const DiffusionModel model = cli.GetString("model", "IC") == "LT"
-                                   ? DiffusionModel::kLinearThreshold
-                                   : DiffusionModel::kIndependentCascade;
-  const size_t runs = static_cast<size_t>(cli.GetInt("runs", 1));
-  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+
+  SolveRequest request;
+  request.algorithm = spec->id;
+  request.batch_size = spec->batch_size;
+  request.model = cli.GetString("model", "IC") == "LT"
+                      ? DiffusionModel::kLinearThreshold
+                      : DiffusionModel::kIndependentCascade;
+  request.eta = eta;
+  request.keep_traces = true;  // round tables + --save-traces
+  // Flags read directly rather than via ApplyRequestOverrides: asm_tool is
+  // a user tool, and the bench-harness ASM_BENCH_* env knobs must never
+  // silently change a run. --runs is the documented spelling
+  // (--realizations accepted as an alias); --seed 7 matches LoadGraph's
+  // surrogate default, so one seed governs the whole invocation.
+  request.epsilon = cli.GetDouble("epsilon", request.epsilon);
+  request.seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  // Signed reads guarded before the size_t casts: a negative value must
+  // come back as a readable error, not wrap to ~2^64 runs or workers.
+  const int64_t runs = cli.GetInt("runs", cli.GetInt("realizations", 1));
+  if (runs < 1) {
+    std::cerr << "InvalidArgument: --runs must be >= 1, got " << runs << "\n";
+    return 1;
+  }
+  request.realizations = static_cast<size_t>(runs);
+  const int64_t threads = cli.GetInt("threads", 1);
+  if (threads < 0) {
+    std::cerr << "InvalidArgument: --threads must be >= 0, got " << threads << "\n";
+    return 1;
+  }
   const bool quiet = cli.Has("quiet");
 
   std::cout << "graph: n=" << n << " m=" << graph->NumEdges()
-            << "  model=" << DiffusionModelName(model) << "  eta=" << eta
-            << "  algorithm=" << cli.GetString("algorithm", "ASTI") << "\n";
+            << "  model=" << DiffusionModelName(request.model) << "  eta=" << eta
+            << "  algorithm=" << algorithm_name << "\n";
 
-  std::vector<AdaptiveRunTrace> traces;
-  for (size_t run = 0; run < runs; ++run) {
-    auto selector = MakeSelector(cli, *graph, model);
-    if (!selector.ok()) {
-      std::cerr << selector.status().ToString() << "\n";
-      return 1;
-    }
-    Rng world_rng(seed * 1000003 + run);
-    AdaptiveWorld world(*graph, model, eta, world_rng);
-    Rng rng(seed * 7777 + run);
-    traces.push_back(RunAdaptivePolicy(world, **selector, rng));
-    const AdaptiveRunTrace& trace = traces.back();
-    if (!quiet) {
+  // --threads read directly (not NumThreadsOverride): a lingering
+  // ASM_BENCH_THREADS export must not silently flip the user's run onto a
+  // different (sequential vs pooled) stream protocol.
+  SeedMinEngine engine(*graph, {static_cast<size_t>(threads)});
+  StatusOr<SolveResult> solved = engine.Solve(request);
+  if (!solved.ok()) {
+    std::cerr << solved.status().ToString() << "\n";
+    return 1;
+  }
+  const SolveResult& result = *solved;
+
+  for (size_t run = 0; run < result.traces.size(); ++run) {
+    const AdaptiveRunTrace& trace = result.traces[run];
+    if (!quiet && !trace.rounds.empty()) {
       TextTable table({"round", "seeds", "activated", "shortfall", "samples"});
       for (const RoundRecord& round : trace.rounds) {
         std::string seeds;
@@ -136,12 +144,11 @@ int Run(int argc, char** argv) {
     std::cout << "run " << run + 1 << ": " << trace.NumSeeds() << " seeds, "
               << trace.total_activated << " activated, " << trace.seconds << "s\n";
   }
-  const RunAggregate aggregate = Aggregate(traces);
-  std::cout << "\nsummary: " << Summarize(aggregate) << "\n";
+  std::cout << "\nsummary: " << Summarize(result.aggregate) << "\n";
 
   if (cli.Has("save-traces")) {
     const std::string path = cli.GetString("save-traces", "");
-    const Status status = SaveTraces(traces, path);
+    const Status status = SaveTraces(result.traces, path);
     if (!status.ok()) {
       std::cerr << status.ToString() << "\n";
       return 1;

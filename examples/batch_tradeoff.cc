@@ -3,15 +3,15 @@
 // Every adaptive round costs a real-world observation window (wait for the
 // cascade to settle before seeding again). TRIM-B amortizes that by
 // seeding b users per round at a small cost in total seeds. This example
-// sweeps b and frames the result as "campaign latency (rounds) vs sample
-// budget (seeds)" so a practitioner can pick their point on the curve.
+// sweeps b through the SolveRequest batch_size override (any b, not just
+// the canonical 2/4/8) and frames the result as "campaign latency (rounds)
+// vs sample budget (seeds)" so a practitioner can pick their point on the
+// curve.
 
 #include <iostream>
 
+#include "api/seedmin_engine.h"
 #include "benchutil/table.h"
-#include "core/asti.h"
-#include "core/trim_b.h"
-#include "diffusion/world.h"
 #include "graph/datasets.h"
 
 int main() {
@@ -27,26 +27,30 @@ int main() {
             << graph->NumNodes() << ", eta=" << eta << ", " << repeats
             << " hidden worlds per batch size\n\n";
 
+  SeedMinEngine engine(*graph);
   TextTable table({"batch b", "rounds (latency)", "seeds (budget)",
                    "selection time (s)", "reached"});
   for (NodeId batch : {1, 2, 4, 8, 16}) {
-    std::vector<AdaptiveRunTrace> traces;
-    for (size_t run = 0; run < repeats; ++run) {
-      Rng world_rng(800 + run);
-      AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta,
-                          world_rng);
-      TrimB trim_b(*graph, DiffusionModel::kIndependentCascade,
-                   TrimBOptions{0.5, batch});
-      Rng rng(900 + run * 7 + batch);
-      traces.push_back(RunAdaptivePolicy(world, trim_b, rng));
+    SolveRequest request;
+    request.algorithm = AlgorithmId::kAsti;
+    request.batch_size = batch;  // b = 1 runs TRIM, b > 1 runs TRIM-B
+    request.eta = eta;
+    request.realizations = repeats;
+    request.seed = 800;  // same hidden worlds for every batch size
+    request.keep_traces = true;
+    StatusOr<SolveResult> solved = engine.Solve(request);
+    if (!solved.ok()) {
+      std::cerr << solved.status().ToString() << "\n";
+      return 1;
     }
     double rounds = 0.0;
-    for (const auto& trace : traces) rounds += static_cast<double>(trace.rounds.size());
-    const RunAggregate aggregate = Aggregate(traces);
+    for (const auto& trace : solved->traces) {
+      rounds += static_cast<double>(trace.rounds.size());
+    }
     table.AddRow({std::to_string(batch), FormatDouble(rounds / repeats, 1),
-                  FormatDouble(aggregate.mean_seeds, 1),
-                  FormatDouble(aggregate.mean_seconds, 3),
-                  std::to_string(aggregate.runs_reaching_target) + "/" +
+                  FormatDouble(solved->aggregate.mean_seeds, 1),
+                  FormatDouble(solved->aggregate.mean_seconds, 3),
+                  std::to_string(solved->aggregate.runs_reaching_target) + "/" +
                       std::to_string(repeats)});
   }
   table.Print(std::cout);

@@ -1,15 +1,14 @@
 // Quickstart: adaptive seed minimization in ~40 lines.
 //
-// Builds a small probabilistic social graph, asks ASTI (the TRIM
-// instantiation) to influence at least η = 50 of its 200 users, and prints
-// the select-observe round trace. Shows the three core API pieces:
-// GraphBuilder/generators -> AdaptiveWorld -> RunAdaptivePolicy.
+// Builds a small probabilistic social graph, asks the SeedMinEngine to
+// influence at least η = 50 of its 200 users with ASTI (the TRIM
+// instantiation), and prints the select-observe round trace. Shows the
+// three core API pieces: GraphBuilder/generators -> SeedMinEngine ->
+// SolveRequest/SolveResult.
 
 #include <iostream>
 
-#include "core/asti.h"
-#include "core/trim.h"
-#include "diffusion/world.h"
+#include "api/seedmin_engine.h"
 #include "graph/generators.h"
 
 int main() {
@@ -27,18 +26,26 @@ int main() {
   std::cout << "Graph: " << graph->NumNodes() << " nodes, " << graph->NumEdges()
             << " directed edges\n";
 
-  // 2. A hidden world: one sampled IC realization the policy cannot see.
-  const NodeId eta = 50;
-  Rng world_rng(7);
-  AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
+  // 2. The engine: one façade over every algorithm in the registry.
+  SeedMinEngine engine(*graph);
 
-  // 3. The adaptive policy: TRIM selects the node with (approximately)
-  //    maximal expected marginal *truncated* spread each round.
-  Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
-  Rng policy_rng(13);
-  const AdaptiveRunTrace trace = RunAdaptivePolicy(world, trim, policy_rng);
+  // 3. The query: algorithm, model, threshold and RNG seed in one struct.
+  //    The hidden IC realization the policy plays against is derived from
+  //    the request seed; keep_traces retains the per-round records.
+  SolveRequest request;
+  request.algorithm = AlgorithmId::kAsti;
+  request.model = DiffusionModel::kIndependentCascade;
+  request.eta = 50;
+  request.seed = 7;
+  request.keep_traces = true;
+  StatusOr<SolveResult> solved = engine.Solve(request);
+  if (!solved.ok()) {  // bad requests come back as Status, not a crash
+    std::cerr << solved.status().ToString() << "\n";
+    return 1;
+  }
 
-  std::cout << "Target eta = " << eta << "; reached "
+  const AdaptiveRunTrace& trace = solved->traces.front();
+  std::cout << "Target eta = " << request.eta << "; reached "
             << trace.total_activated << " active nodes with "
             << trace.NumSeeds() << " seeds in " << trace.rounds.size()
             << " rounds:\n";

@@ -2,17 +2,16 @@
 //
 // One social network, one per-topic influence profile, three products with
 // different topic mixtures (a sports gadget, a cooking box, a crossover).
-// For each campaign we build the mixture-weighted IC graph and run the
-// unchanged ASTI stack, showing that the seed sets, budgets, and even the
-// best ambassadors differ per campaign.
+// For each campaign we build the mixture-weighted IC graph, stand up a
+// SeedMinEngine over it, and run the unchanged ASTI stack, showing that
+// the seed sets, budgets, and even the best ambassadors differ per
+// campaign.
 
 #include <iostream>
 
+#include "api/seedmin_engine.h"
 #include "benchutil/table.h"
-#include "core/asti.h"
-#include "core/trim.h"
 #include "diffusion/topic_model.h"
-#include "diffusion/world.h"
 #include "graph/datasets.h"
 
 int main() {
@@ -45,11 +44,18 @@ int main() {
       std::cerr << graph.status().ToString() << "\n";
       return 1;
     }
-    Rng world_rng(55);  // same hidden-randomness stream across campaigns
-    AdaptiveWorld world(*graph, DiffusionModel::kIndependentCascade, eta, world_rng);
-    Trim trim(*graph, DiffusionModel::kIndependentCascade, TrimOptions{0.5});
-    Rng rng(66);
-    const AdaptiveRunTrace trace = RunAdaptivePolicy(world, trim, rng);
+    SeedMinEngine engine(*graph);
+    SolveRequest request;
+    request.algorithm = AlgorithmId::kAsti;
+    request.eta = eta;
+    request.seed = 55;  // same hidden-randomness stream across campaigns
+    request.keep_traces = true;
+    StatusOr<SolveResult> solved = engine.Solve(request);
+    if (!solved.ok()) {
+      std::cerr << solved.status().ToString() << "\n";
+      return 1;
+    }
+    const AdaptiveRunTrace& trace = solved->traces.front();
     table.AddRow({campaign.name, std::to_string(trace.NumSeeds()),
                   std::to_string(trace.rounds.size()),
                   std::to_string(trace.total_activated),

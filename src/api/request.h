@@ -1,0 +1,74 @@
+// The uniform query/response pair of the SeedMinEngine façade.
+//
+// The paper frames adaptive seed minimization as a query — given (graph,
+// model, η, ε), return a minimal seed sequence. SolveRequest is that query
+// as a value type: every knob the nine legacy entry points re-threaded
+// (algorithm id, model, η, ε, batch size, realizations, per-request seed,
+// algorithm-specific params) in one struct. A request carries its own RNG
+// seed, and every stream used to serve it is derived from that seed alone
+// (Rng::Split families), so a SolveResult is a pure function of
+// (graph, request) — bit-identical whether the request runs solo,
+// batched, or interleaved with other clients on a shared pool.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/algorithm_registry.h"
+#include "core/trace.h"
+#include "diffusion/model.h"
+#include "graph/types.h"
+#include "stats/truncation.h"
+
+namespace asti {
+
+/// One seed-minimization query.
+struct SolveRequest {
+  AlgorithmId algorithm = AlgorithmId::kAsti;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// Activation threshold η ∈ [1, n].
+  NodeId eta = 1;
+  /// Approximation slack ε ∈ (0, 1) for the adaptive sampling-based
+  /// algorithms (TRIM family, AdaptIM). The one-shot baselines (ATEUC,
+  /// Bisection) keep their internal confidence defaults — their ε is a
+  /// different quantity (bound confidence, not approximation slack) and
+  /// the §6 comparison protocol pins it; the field is still validated so
+  /// one request shape has one contract.
+  double epsilon = 0.5;
+  /// Batch-size override for kAsti: 0 = plain TRIM, b > 1 runs TRIM-B
+  /// with that b (how non-canonical batches like ASTI-16 are expressed).
+  /// Invalid on every other algorithm id — the ASTI-b ids carry their own
+  /// batch, and mixing the two would desynchronize the result's algorithm
+  /// label and RNG stream domain from the executed configuration.
+  NodeId batch_size = 0;
+  /// Hidden realizations to solve against (the paper averages 20); must
+  /// be >= 1. Adaptive algorithms re-run per realization; non-adaptive
+  /// ones select once and are evaluated on all of them.
+  size_t realizations = 1;
+  /// Per-request RNG root: hidden worlds and selector streams are all
+  /// derived from this seed via Rng::Split, independent of engine state.
+  uint64_t seed = 1;
+  /// Retain full per-round traces in the result (Fig. 10 style analyses).
+  bool keep_traces = false;
+  /// Root-count rounding ablation hook (TRIM family).
+  RootRounding rounding = RootRounding::kRandomized;
+  /// MC trials per candidate for OracleGreedy.
+  size_t oracle_trials = 200;
+};
+
+/// The engine's answer: per-realization outcomes plus their aggregate.
+struct SolveResult {
+  AlgorithmId algorithm = AlgorithmId::kAsti;
+  /// Selector display name ("ASTI", "ASTI-16", "ATEUC", ...).
+  std::string algorithm_name;
+  RunAggregate aggregate;
+  std::vector<double> spreads;           // final spread per realization
+  std::vector<size_t> seed_counts;       // per realization
+  std::vector<AdaptiveRunTrace> traces;  // only if keep_traces
+  /// True iff every realization reached η.
+  bool always_reached = false;
+};
+
+}  // namespace asti

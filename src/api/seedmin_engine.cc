@@ -1,0 +1,205 @@
+#include "api/seedmin_engine.h"
+
+#include <utility>
+
+#include "baselines/ateuc.h"
+#include "baselines/bisection_seedmin.h"
+#include "core/asti.h"
+#include "diffusion/forward_sim.h"
+#include "diffusion/world.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace asti {
+
+namespace {
+
+// Domain-separated stream derivation via Rng::Split(i): world streams are
+// shared by every algorithm (same hidden realizations, the §6 protocol),
+// selector streams are distinct per (algorithm, run). All derivations root
+// at request.seed, never at engine state, so a result is a pure function
+// of (graph, request).
+enum StreamDomain : uint64_t {
+  kWorldDomain = 0,
+  kAteucDomain = 1,
+  kBisectionDomain = 2,
+  kSelectorDomainBase = 16,  // + AlgorithmId
+};
+
+Rng StreamFor(uint64_t seed, uint64_t domain, size_t run) {
+  return Rng(seed).Split(domain).Split(run);
+}
+
+// Hidden realization for run r — shared across algorithms by construction.
+Realization HiddenRealization(const DirectedGraph& graph, const SolveRequest& request,
+                              size_t run) {
+  Rng world_rng = StreamFor(request.seed, kWorldDomain, run);
+  return request.model == DiffusionModel::kIndependentCascade
+             ? Realization::SampleIc(graph, world_rng)
+             : Realization::SampleLt(graph, world_rng);
+}
+
+void FinishResult(const SolveRequest& request, std::vector<AdaptiveRunTrace> traces,
+                  SolveResult& result) {
+  result.algorithm = request.algorithm;
+  result.aggregate = Aggregate(traces);
+  result.always_reached =
+      result.aggregate.runs_reaching_target == result.aggregate.runs;
+  if (request.keep_traces) result.traces = std::move(traces);
+}
+
+}  // namespace
+
+SeedMinEngine::SeedMinEngine(const DirectedGraph& graph, Options options)
+    : graph_(&graph), options_(options) {
+  if (options_.num_threads != 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+Status SeedMinEngine::Validate(const SolveRequest& request) const {
+  const NodeId n = graph_->NumNodes();
+  const AlgorithmInfo* info = AlgorithmRegistry::Find(request.algorithm);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        "unknown algorithm id " +
+        std::to_string(static_cast<int>(request.algorithm)));
+  }
+  if (request.eta < 1 || request.eta > n) {
+    return Status::InvalidArgument("eta " + std::to_string(request.eta) +
+                                   " outside [1, " + std::to_string(n) + "]");
+  }
+  if (!(request.epsilon > 0.0 && request.epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon " + std::to_string(request.epsilon) +
+                                   " outside (0, 1)");
+  }
+  if (request.realizations == 0) {
+    return Status::InvalidArgument("realizations must be >= 1");
+  }
+  // The override is restricted to plain kAsti (mirroring Parse("ASTI-b")):
+  // on a dedicated ASTI-b id it would make result.algorithm disagree with
+  // the executed batch size and the selector's RNG stream domain.
+  if (request.batch_size != 0 && request.algorithm != AlgorithmId::kAsti) {
+    return Status::InvalidArgument(
+        std::string("batch_size override is only valid with ASTI (got ") +
+        info->name + "); use the ASTI-b id or batch_size on ASTI");
+  }
+  if (request.algorithm == AlgorithmId::kOracle && request.oracle_trials == 0) {
+    return Status::InvalidArgument("oracle_trials must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<SolveResult> SeedMinEngine::Solve(const SolveRequest& request) {
+  ASM_RETURN_NOT_OK(Validate(request));
+  if (request.algorithm == AlgorithmId::kAteuc) return RunAteucRequest(request);
+  if (request.algorithm == AlgorithmId::kBisection) {
+    return RunBisectionRequest(request);
+  }
+  return RunAdaptive(request);
+}
+
+std::future<StatusOr<SolveResult>> SeedMinEngine::SubmitAsync(SolveRequest request) {
+  // One lightweight driver thread per request; the heavy lifting (sampling
+  // batches, coverage scans) still lands on the shared pool. Driving the
+  // solve on a pool worker would risk deadlock: a solve blocks on its
+  // TaskGroup, and with all workers blocked no sampling task could run.
+  return std::async(std::launch::async,
+                    [this, request = std::move(request)]() { return Solve(request); });
+}
+
+std::vector<StatusOr<SolveResult>> SeedMinEngine::SolveBatch(
+    std::span<const SolveRequest> requests) {
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  futures.reserve(requests.size());
+  for (const SolveRequest& request : requests) futures.push_back(SubmitAsync(request));
+  std::vector<StatusOr<SolveResult>> results;
+  results.reserve(requests.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request) {
+  AlgorithmContext ctx;
+  ctx.graph = graph_;
+  ctx.model = request.model;
+  ctx.epsilon = request.epsilon;
+  ctx.batch_size = request.batch_size;
+  ctx.rounding = request.rounding;
+  ctx.oracle_trials = request.oracle_trials;
+  ctx.num_threads = options_.num_threads;
+  ctx.pool = pool_.get();
+
+  SolveResult result;
+  std::vector<AdaptiveRunTrace> traces;
+  for (size_t run = 0; run < request.realizations; ++run) {
+    AdaptiveWorld world(*graph_, request.eta, HiddenRealization(*graph_, request, run));
+    // Selector RNG stream is independent of the hidden world.
+    Rng selector_rng =
+        StreamFor(request.seed,
+                  kSelectorDomainBase + static_cast<uint64_t>(request.algorithm), run);
+    auto selector = AlgorithmRegistry::Make(request.algorithm, ctx);
+    if (!selector.ok()) return selector.status();
+    if (result.algorithm_name.empty()) result.algorithm_name = (*selector)->Name();
+    AdaptiveRunTrace trace = RunAdaptivePolicy(world, **selector, selector_rng);
+    result.spreads.push_back(static_cast<double>(trace.total_activated));
+    result.seed_counts.push_back(trace.NumSeeds());
+    traces.push_back(std::move(trace));
+  }
+  FinishResult(request, std::move(traces), result);
+  return result;
+}
+
+// Evaluates a one-shot (non-adaptive) seed set on the shared hidden
+// realizations; `select_seconds` / `num_samples` describe the selection.
+SolveResult SeedMinEngine::EvaluateOneShot(const SolveRequest& request,
+                                           const std::vector<NodeId>& seeds,
+                                           double select_seconds, size_t num_samples) {
+  SolveResult result;
+  std::vector<AdaptiveRunTrace> traces;
+  ForwardSimulator simulator(*graph_);
+  for (size_t run = 0; run < request.realizations; ++run) {
+    const Realization hidden = HiddenRealization(*graph_, request, run);
+    const size_t spread = simulator.Spread(hidden, seeds);
+    AdaptiveRunTrace trace;
+    trace.eta = request.eta;
+    trace.seeds = seeds;
+    trace.total_activated = static_cast<NodeId>(spread);
+    trace.target_reached = spread >= request.eta;
+    trace.seconds = select_seconds;  // selection cost is paid once
+    trace.total_samples = num_samples;
+    result.spreads.push_back(static_cast<double>(spread));
+    result.seed_counts.push_back(seeds.size());
+    traces.push_back(std::move(trace));
+  }
+  FinishResult(request, std::move(traces), result);
+  return result;
+}
+
+StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(const SolveRequest& request) {
+  Rng select_rng = StreamFor(request.seed, kAteucDomain, 0);
+  AteucOptions options;
+  options.num_threads = options_.num_threads;
+  options.pool = pool_.get();
+  WallTimer select_timer;
+  const AteucResult selection =
+      RunAteuc(*graph_, request.model, request.eta, options, select_rng);
+  SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
+                                       selection.num_samples);
+  result.algorithm_name = "ATEUC";
+  return result;
+}
+
+StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(const SolveRequest& request) {
+  Rng select_rng = StreamFor(request.seed, kBisectionDomain, 0);
+  BisectionOptions options;
+  options.num_threads = options_.num_threads;
+  options.pool = pool_.get();
+  WallTimer select_timer;
+  const BisectionResult selection =
+      RunBisectionSeedMin(*graph_, request.model, request.eta, options, select_rng);
+  SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
+                                       selection.num_samples);
+  result.algorithm_name = "Bisection";
+  return result;
+}
+
+}  // namespace asti

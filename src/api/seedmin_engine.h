@@ -1,0 +1,86 @@
+// SeedMinEngine — the one façade over every seed-minimization algorithm.
+//
+// A resident engine owns a DirectedGraph reference and one shared
+// ThreadPool, and serves uniform SolveRequests: validation at the API
+// boundary (Status::InvalidArgument instead of CHECK-crashes), selector
+// construction through AlgorithmRegistry, and the §6 evaluation protocol
+// (hidden realizations shared across algorithms for a given seed).
+//
+// Concurrency model: Solve runs on the caller's thread and fans sampling/
+// coverage work onto the shared pool; SubmitAsync drives the same Solve on
+// a detached std::async thread, so any number of requests can be in flight
+// while pool workers interleave their batches (per-batch TaskGroups keep
+// them isolated — see src/parallel/README.md). Every RNG stream serving a
+// request is derived from request.seed alone, so results are bit-identical
+// — in every field except the wall-clock timings (trace seconds,
+// aggregate mean_seconds), which measure the run that produced them —
+// whether a request runs solo, in SolveBatch, or interleaved with other
+// clients, at any pool size != 1 (pool size 1 uses the sequential
+// reference sampling path, which is deterministic too but follows the
+// paper's in-place stream protocol). See src/api/README.md.
+
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/request.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Resident query engine over one graph and one worker pool.
+class SeedMinEngine {
+ public:
+  struct Options {
+    /// Shared sampling/coverage workers for all requests: 1 = sequential
+    /// reference path (no pool), 0 = one per hardware thread, k = k workers.
+    size_t num_threads = 1;
+  };
+
+  /// The graph must outlive the engine.
+  explicit SeedMinEngine(const DirectedGraph& graph) : SeedMinEngine(graph, Options{}) {}
+  SeedMinEngine(const DirectedGraph& graph, Options options);
+
+  const DirectedGraph& graph() const { return *graph_; }
+
+  /// The shared pool, or nullptr in sequential mode.
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// Checks every request field against the graph; OK iff Solve would run.
+  Status Validate(const SolveRequest& request) const;
+
+  /// Serves one request synchronously on the caller's thread.
+  StatusOr<SolveResult> Solve(const SolveRequest& request);
+
+  /// Serves one request on its own driver thread; sampling still fans out
+  /// to the shared pool. The future carries the same StatusOr Solve would
+  /// return (invalid requests resolve to InvalidArgument, never crash).
+  /// The engine (and its graph) must outlive every outstanding future:
+  /// gather all futures before destroying the engine — destroying it with
+  /// a request in flight is a use-after-free.
+  std::future<StatusOr<SolveResult>> SubmitAsync(SolveRequest request);
+
+  /// Serves a batch concurrently (one SubmitAsync per request) and gathers
+  /// the results in request order. result[i] is bit-identical to
+  /// Solve(requests[i]) run solo.
+  std::vector<StatusOr<SolveResult>> SolveBatch(std::span<const SolveRequest> requests);
+
+ private:
+  StatusOr<SolveResult> RunAdaptive(const SolveRequest& request);
+  StatusOr<SolveResult> RunAteucRequest(const SolveRequest& request);
+  StatusOr<SolveResult> RunBisectionRequest(const SolveRequest& request);
+  SolveResult EvaluateOneShot(const SolveRequest& request,
+                              const std::vector<NodeId>& seeds, double select_seconds,
+                              size_t num_samples);
+
+  const DirectedGraph* graph_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // engaged when num_threads != 1
+};
+
+}  // namespace asti

@@ -13,7 +13,7 @@ AdaptIm::AdaptIm(const DirectedGraph& graph, DiffusionModel model, AdaptImOption
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads) {
+      engine_(graph, model, options.num_threads, options.pool) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 

@@ -28,6 +28,8 @@ struct AdaptImOptions {
   double epsilon = 0.5;  // certification slack ε ∈ (0, 1)
   /// RR generation workers; semantics as TrimOptions::num_threads.
   size_t num_threads = 1;
+  /// Shared external pool; semantics as TrimOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Untruncated-marginal-spread round selector.

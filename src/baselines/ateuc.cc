@@ -65,7 +65,7 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
 
   RrSampler sampler(graph, model);
   RrCollection collection(n);
-  ParallelEngine engine(graph, model, options.num_threads);
+  ParallelEngine engine(graph, model, options.num_threads, options.pool);
   const double n_d = static_cast<double>(n);
   // Failure budget per bound evaluation; the union bound over greedy
   // prefixes and doubling iterations follows Han et al.'s recipe.

@@ -32,6 +32,8 @@
 
 namespace asti {
 
+class ThreadPool;
+
 /// Tuning knobs for ATEUC.
 struct AteucOptions {
   double epsilon = 0.1;           // confidence parameter for the bounds
@@ -45,6 +47,8 @@ struct AteucOptions {
   double target_slack = 1.2;
   /// RR generation workers; semantics as TrimOptions::num_threads.
   size_t num_threads = 1;
+  /// Shared external pool; semantics as TrimOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of the one-shot (non-adaptive) selection.

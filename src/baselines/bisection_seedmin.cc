@@ -24,7 +24,7 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   // k, so a single greedy pass would suffice — but we keep the literal
   // bisection protocol, whose cost profile is what this baseline is for).
   RrCollection collection(n);
-  ParallelEngine engine(graph, model, options.num_threads);
+  ParallelEngine engine(graph, model, options.num_threads, options.pool);
   BisectionResult result;
   if (ParallelRrSampler* parallel = engine.get()) {
     parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);

@@ -20,6 +20,8 @@
 
 namespace asti {
 
+class ThreadPool;
+
 /// Tuning knobs for the bisection baseline.
 struct BisectionOptions {
   size_t samples = 8192;      // RR-sets per IM evaluation
@@ -27,6 +29,8 @@ struct BisectionOptions {
   /// RR generation + greedy coverage workers; semantics as
   /// TrimOptions::num_threads (one shared pool, per-batch TaskGroups).
   size_t num_threads = 1;
+  /// Shared external pool; semantics as TrimOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of the bisection run.

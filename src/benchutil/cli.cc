@@ -1,7 +1,11 @@
 #include "benchutil/cli.h"
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
+
+#include "api/request.h"
+#include "util/check.h"
 
 namespace asti {
 
@@ -63,6 +67,39 @@ size_t NumThreadsOverride(const CommandLine& cli, size_t fallback) {
   return EnvSize("ASM_BENCH_THREADS",
                  static_cast<size_t>(cli.GetInt("threads",
                                                 static_cast<int64_t>(fallback))));
+}
+
+std::vector<size_t> ParseSizeList(const std::string& spec, const char* flag,
+                                  size_t min_value) {
+  std::vector<size_t> counts;
+  std::stringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    ASM_CHECK(token.find_first_not_of("0123456789") == std::string::npos)
+        << flag << " expects a comma-separated list of counts, got '" << token << "'";
+    size_t count = 0;
+    try {
+      count = static_cast<size_t>(std::stoull(token));
+    } catch (...) {
+      ASM_CHECK(false) << flag << " count '" << token << "' out of range";
+    }
+    ASM_CHECK(count >= min_value)
+        << flag << " counts must be >= " << min_value << ", got " << count;
+    counts.push_back(count);
+  }
+  ASM_CHECK(!counts.empty()) << "empty " << flag << " list";
+  return counts;
+}
+
+void ApplyRequestOverrides(const CommandLine& cli, SolveRequest& request) {
+  request.epsilon = cli.GetDouble("epsilon", request.epsilon);
+  request.seed = static_cast<uint64_t>(
+      cli.GetInt("seed", static_cast<int64_t>(request.seed)));
+  request.realizations = EnvSize(
+      "ASM_BENCH_REALIZATIONS",
+      static_cast<size_t>(cli.GetInt(
+          "realizations", static_cast<int64_t>(request.realizations))));
 }
 
 size_t EnvSize(const char* name, size_t fallback) {

@@ -8,8 +8,11 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace asti {
+
+struct SolveRequest;  // api/request.h; full include only in cli.cc
 
 /// Parsed --key=value / --key value / --flag command-line options.
 class CommandLine {
@@ -35,5 +38,17 @@ size_t EnvSize(const char* name, size_t fallback);
 /// then the --threads flag, then `fallback` (1 = sequential, 0 = all
 /// hardware threads).
 size_t NumThreadsOverride(const CommandLine& cli, size_t fallback = 1);
+
+/// Applies the request-level standard overrides to a SolveRequest in
+/// place: --epsilon, --seed, and --realizations (env
+/// ASM_BENCH_REALIZATIONS wins over the flag). One struct carries the
+/// knobs every harness used to re-thread per algorithm.
+void ApplyRequestOverrides(const CommandLine& cli, SolveRequest& request);
+
+/// Parses a comma-separated count list ("1,2,4,8") for sweep flags like
+/// --threads / --clients. Crashes with a message naming `flag` on
+/// non-numeric tokens, an empty list, or counts below `min_value`.
+std::vector<size_t> ParseSizeList(const std::string& spec, const char* flag,
+                                  size_t min_value = 0);
 
 }  // namespace asti

@@ -1,191 +1,27 @@
 #include "benchutil/experiment.h"
 
-#include <numeric>
-
-#include "baselines/adaptim.h"
-#include "baselines/ateuc.h"
-#include "baselines/bisection_seedmin.h"
-#include "baselines/degree_adaptive.h"
-#include "baselines/oracle_greedy.h"
 #include "benchutil/table.h"
-#include "benchutil/timer.h"
-#include "core/asti.h"
-#include "core/trim.h"
-#include "core/trim_b.h"
-#include "diffusion/world.h"
 #include "util/check.h"
 
 namespace asti {
 
-const char* AlgorithmName(AlgorithmId id) {
-  switch (id) {
-    case AlgorithmId::kAsti:
-      return "ASTI";
-    case AlgorithmId::kAsti2:
-      return "ASTI-2";
-    case AlgorithmId::kAsti4:
-      return "ASTI-4";
-    case AlgorithmId::kAsti8:
-      return "ASTI-8";
-    case AlgorithmId::kAdaptIm:
-      return "AdaptIM";
-    case AlgorithmId::kAteuc:
-      return "ATEUC";
-    case AlgorithmId::kDegree:
-      return "DegreeAdaptive";
-    case AlgorithmId::kOracle:
-      return "OracleGreedy";
-    case AlgorithmId::kBisection:
-      return "Bisection";
-  }
-  return "?";
+SolveRequest CellConfig::ToRequest() const {
+  SolveRequest request;
+  request.algorithm = algorithm;
+  request.model = model;
+  request.eta = eta;
+  request.epsilon = epsilon;
+  request.realizations = realizations;
+  request.seed = seed;
+  request.keep_traces = keep_traces;
+  return request;
 }
-
-namespace {
-
-// Domain-separated stream derivation via Rng::Split(i): world streams are
-// shared by every algorithm (same hidden realizations, the §6 protocol),
-// selector streams are distinct per (algorithm, run).
-enum StreamDomain : uint64_t {
-  kWorldDomain = 0,
-  kAteucDomain = 1,
-  kBisectionDomain = 2,
-  kSelectorDomainBase = 16,  // + AlgorithmId
-};
-
-Rng StreamFor(uint64_t seed, uint64_t domain, size_t run) {
-  return Rng(seed).Split(domain).Split(run);
-}
-
-std::unique_ptr<RoundSelector> MakeSelector(const DirectedGraph& graph,
-                                            const CellConfig& config) {
-  const DiffusionModel model = config.model;
-  TrimOptions trim_options;
-  trim_options.epsilon = config.epsilon;
-  trim_options.num_threads = config.num_threads;
-  TrimBOptions trim_b_options;
-  trim_b_options.epsilon = config.epsilon;
-  trim_b_options.num_threads = config.num_threads;
-  AdaptImOptions adaptim_options;
-  adaptim_options.epsilon = config.epsilon;
-  adaptim_options.num_threads = config.num_threads;
-  switch (config.algorithm) {
-    case AlgorithmId::kAsti:
-      return std::make_unique<Trim>(graph, model, trim_options);
-    case AlgorithmId::kAsti2:
-      trim_b_options.batch_size = 2;
-      return std::make_unique<TrimB>(graph, model, trim_b_options);
-    case AlgorithmId::kAsti4:
-      trim_b_options.batch_size = 4;
-      return std::make_unique<TrimB>(graph, model, trim_b_options);
-    case AlgorithmId::kAsti8:
-      trim_b_options.batch_size = 8;
-      return std::make_unique<TrimB>(graph, model, trim_b_options);
-    case AlgorithmId::kAdaptIm:
-      return std::make_unique<AdaptIm>(graph, model, adaptim_options);
-    case AlgorithmId::kDegree:
-      return std::make_unique<DegreeAdaptive>(graph);
-    case AlgorithmId::kOracle:
-      return std::make_unique<OracleGreedy>(graph, model);
-    case AlgorithmId::kAteuc:
-    case AlgorithmId::kBisection:
-      break;  // non-adaptive; handled by RunCell directly
-  }
-  ASM_CHECK(false) << "no selector for algorithm";
-  return nullptr;
-}
-
-// Hidden realization for run r — shared across algorithms by construction.
-Realization HiddenRealization(const DirectedGraph& graph, const CellConfig& config,
-                              size_t run) {
-  Rng world_rng = StreamFor(config.seed, kWorldDomain, run);
-  return config.model == DiffusionModel::kIndependentCascade
-             ? Realization::SampleIc(graph, world_rng)
-             : Realization::SampleLt(graph, world_rng);
-}
-
-CellResult RunAdaptiveCell(const DirectedGraph& graph, const CellConfig& config) {
-  CellResult result;
-  std::vector<AdaptiveRunTrace> traces;
-  for (size_t run = 0; run < config.realizations; ++run) {
-    AdaptiveWorld world(graph, config.eta, HiddenRealization(graph, config, run));
-    // Selector RNG stream is independent of the hidden world.
-    Rng selector_rng = StreamFor(
-        config.seed, kSelectorDomainBase + static_cast<uint64_t>(config.algorithm), run);
-    std::unique_ptr<RoundSelector> selector = MakeSelector(graph, config);
-    AdaptiveRunTrace trace = RunAdaptivePolicy(world, *selector, selector_rng);
-    result.spreads.push_back(static_cast<double>(trace.total_activated));
-    result.seed_counts.push_back(trace.NumSeeds());
-    traces.push_back(std::move(trace));
-  }
-  result.aggregate = Aggregate(traces);
-  result.always_reached =
-      result.aggregate.runs_reaching_target == result.aggregate.runs;
-  if (config.keep_traces) result.traces = std::move(traces);
-  return result;
-}
-
-// Evaluates a one-shot (non-adaptive) seed set on the shared hidden
-// realizations; `select_seconds` / `num_samples` describe the selection.
-CellResult EvaluateNonAdaptive(const DirectedGraph& graph, const CellConfig& config,
-                               const std::vector<NodeId>& seeds, double select_seconds,
-                               size_t num_samples) {
-  CellResult result;
-  std::vector<AdaptiveRunTrace> traces;
-  ForwardSimulator simulator(graph);
-  for (size_t run = 0; run < config.realizations; ++run) {
-    const Realization hidden = HiddenRealization(graph, config, run);
-    const size_t spread = simulator.Spread(hidden, seeds);
-    AdaptiveRunTrace trace;
-    trace.eta = config.eta;
-    trace.seeds = seeds;
-    trace.total_activated = static_cast<NodeId>(spread);
-    trace.target_reached = spread >= config.eta;
-    trace.seconds = select_seconds;  // selection cost is paid once
-    trace.total_samples = num_samples;
-    result.spreads.push_back(static_cast<double>(spread));
-    result.seed_counts.push_back(seeds.size());
-    traces.push_back(std::move(trace));
-  }
-  result.aggregate = Aggregate(traces);
-  result.always_reached =
-      result.aggregate.runs_reaching_target == result.aggregate.runs;
-  if (config.keep_traces) result.traces = std::move(traces);
-  return result;
-}
-
-CellResult RunAteucCell(const DirectedGraph& graph, const CellConfig& config) {
-  Rng select_rng = StreamFor(config.seed, kAteucDomain, 0);
-  AteucOptions options;
-  options.num_threads = config.num_threads;
-  WallTimer select_timer;
-  const AteucResult selection =
-      RunAteuc(graph, config.model, config.eta, options, select_rng);
-  return EvaluateNonAdaptive(graph, config, selection.seeds, select_timer.Seconds(),
-                             selection.num_samples);
-}
-
-CellResult RunBisectionCell(const DirectedGraph& graph, const CellConfig& config) {
-  Rng select_rng = StreamFor(config.seed, kBisectionDomain, 0);
-  BisectionOptions options;
-  options.num_threads = config.num_threads;
-  WallTimer select_timer;
-  const BisectionResult selection =
-      RunBisectionSeedMin(graph, config.model, config.eta, options, select_rng);
-  return EvaluateNonAdaptive(graph, config, selection.seeds, select_timer.Seconds(),
-                             selection.num_samples);
-}
-
-}  // namespace
 
 CellResult RunCell(const DirectedGraph& graph, const CellConfig& config) {
-  ASM_CHECK(config.realizations >= 1);
-  ASM_CHECK(config.eta >= 1 && config.eta <= graph.NumNodes());
-  if (config.algorithm == AlgorithmId::kAteuc) return RunAteucCell(graph, config);
-  if (config.algorithm == AlgorithmId::kBisection) {
-    return RunBisectionCell(graph, config);
-  }
-  return RunAdaptiveCell(graph, config);
+  SeedMinEngine engine(graph, {config.num_threads});
+  StatusOr<SolveResult> result = engine.Solve(config.ToRequest());
+  ASM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 std::string ImprovementRatio(const CellResult& asti, const CellResult& ateuc) {

@@ -1,42 +1,31 @@
 // Shared experiment runner behind every figure/table harness.
 //
 // One "cell" of the paper's plots is (dataset, model, η, algorithm)
-// averaged over R hidden realizations. RunCell executes exactly that:
-// adaptive algorithms re-run their select-observe loop per realization;
-// ATEUC selects once and is evaluated on the same realizations. The R
-// hidden realizations are derived from the run seed only, so every
-// algorithm faces identical worlds (the paper's §6 protocol).
+// averaged over R hidden realizations. RunCell executes exactly that by
+// delegating to the SeedMinEngine façade (src/api/): adaptive algorithms
+// re-run their select-observe loop per realization; ATEUC selects once and
+// is evaluated on the same realizations. The R hidden realizations are
+// derived from the run seed only, so every algorithm faces identical
+// worlds (the paper's §6 protocol). AlgorithmId and the selector
+// construction live in api/algorithm_registry.h; this header keeps the
+// bench-facing CellConfig spelling.
 
 #pragma once
 
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "core/trace.h"
-#include "diffusion/model.h"
+#include "api/request.h"
+#include "api/seedmin_engine.h"
 #include "graph/graph.h"
-#include "util/rng.h"
 
 namespace asti {
 
-/// Algorithms of the paper's evaluation (§6.1) plus the extra baselines.
-enum class AlgorithmId {
-  kAsti,      // ASTI = TRIM (batch 1)
-  kAsti2,     // ASTI-2 = TRIM-B, b = 2
-  kAsti4,     // ASTI-4
-  kAsti8,     // ASTI-8
-  kAdaptIm,   // adaptive IM baseline
-  kAteuc,     // non-adaptive baseline
-  kDegree,    // residual-degree heuristic (extra)
-  kOracle,    // Monte-Carlo oracle greedy (tiny graphs only)
-  kBisection, // non-adaptive bisection-on-k transformation (extra)
-};
-
-/// Display name matching the paper's legends.
-const char* AlgorithmName(AlgorithmId id);
+/// A cell's outcome is exactly the engine's answer.
+using CellResult = SolveResult;
 
 /// One plot cell: fixed dataset/model/η/algorithm over R realizations.
+/// A SolveRequest plus the engine-level thread knob, for harnesses that
+/// build a throwaway engine per cell.
 struct CellConfig {
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   NodeId eta = 1;
@@ -48,19 +37,14 @@ struct CellConfig {
   /// Sampling workers for RR/mRR-based selectors (TRIM, TRIM-B, AdaptIM,
   /// ATEUC): 1 = sequential, 0 = all hardware threads, k = k workers.
   size_t num_threads = 1;
+
+  /// The engine query this cell describes.
+  SolveRequest ToRequest() const;
 };
 
-/// Aggregated cell outcome.
-struct CellResult {
-  RunAggregate aggregate;
-  std::vector<double> spreads;           // final spread per realization (Fig. 8/9)
-  std::vector<size_t> seed_counts;       // per realization
-  std::vector<AdaptiveRunTrace> traces;  // only if keep_traces
-  /// True iff every realization reached η — Table 3 prints N/A otherwise.
-  bool always_reached = false;
-};
-
-/// Runs one cell on `graph`.
+/// Runs one cell on `graph` through a per-call engine. Crashes (legacy
+/// harness contract) on configs the engine rejects; call
+/// SeedMinEngine::Solve directly for Status-returning validation.
 CellResult RunCell(const DirectedGraph& graph, const CellConfig& config);
 
 /// Improvement ratio of ATEUC over ASTI in seed count: extra seeds ATEUC

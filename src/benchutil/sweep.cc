@@ -18,22 +18,21 @@ std::vector<SweepCell> RunEvaluationSweep(
     const std::function<void(const SweepCell&)>& progress) {
   std::vector<SweepCell> cells;
   for (DatasetId dataset : options.datasets) {
-    auto graph = MakeSurrogateDataset(dataset, options.scale, options.seed);
+    auto graph = MakeSurrogateDataset(dataset, options.scale, options.base.seed);
     ASM_CHECK(graph.ok()) << graph.status().ToString();
+    // One resident engine (and pool) per dataset serves every grid point.
+    SeedMinEngine engine(*graph, {options.num_threads});
     for (double eta_fraction : EtaFractionsFor(dataset)) {
       const NodeId eta = std::max<NodeId>(
           1, static_cast<NodeId>(eta_fraction * graph->NumNodes()));
       for (AlgorithmId algorithm : options.algorithms) {
-        CellConfig config;
-        config.model = options.model;
-        config.eta = eta;
-        config.algorithm = algorithm;
-        config.realizations = options.realizations;
-        config.epsilon = options.epsilon;
-        config.seed = options.seed;
-        config.keep_traces = options.keep_traces;
-        config.num_threads = options.num_threads;
-        SweepCell cell{dataset, eta_fraction, eta, algorithm, RunCell(*graph, config)};
+        SolveRequest request = options.base;
+        request.algorithm = algorithm;
+        request.eta = eta;
+        StatusOr<SolveResult> result = engine.Solve(request);
+        ASM_CHECK(result.ok()) << result.status().ToString();
+        SweepCell cell{dataset, eta_fraction, eta, algorithm,
+                       std::move(result).value()};
         if (progress) progress(cell);
         cells.push_back(std::move(cell));
       }
@@ -45,13 +44,7 @@ std::vector<SweepCell> RunEvaluationSweep(
 void ApplyStandardOverrides(int argc, const char* const* argv, SweepOptions& options) {
   const CommandLine cli(argc, argv);
   options.scale = EnvDouble("ASM_BENCH_SCALE", cli.GetDouble("scale", options.scale));
-  options.realizations = EnvSize(
-      "ASM_BENCH_REALIZATIONS",
-      static_cast<size_t>(cli.GetInt("realizations",
-                                     static_cast<int64_t>(options.realizations))));
-  options.epsilon = cli.GetDouble("epsilon", options.epsilon);
-  options.seed = static_cast<uint64_t>(
-      cli.GetInt("seed", static_cast<int64_t>(options.seed)));
+  ApplyRequestOverrides(cli, options.base);
   options.num_threads = NumThreadsOverride(cli, options.num_threads);
 }
 

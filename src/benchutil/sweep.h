@@ -4,7 +4,10 @@
 // surrogates, the large-η grid η/n ∈ {.01, .05, .1, .15, .2} (LiveJournal
 // uses the small grid {.01...05}, §6.1), and the six algorithms of the
 // paper — differing only in which metric they print. RunEvaluationSweep
-// executes the grid once for a bench binary.
+// builds one SeedMinEngine per dataset and issues one SolveRequest per
+// grid point: model/ε/realizations/seed flow through the `base` request
+// (one struct, not per-algorithm plumbing), with algorithm and η
+// overwritten per cell.
 
 #pragma once
 
@@ -18,7 +21,9 @@ namespace asti {
 
 /// Grid configuration shared by the figure benches.
 struct SweepOptions {
-  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// Per-cell request template: model, ε, realizations, seed, keep_traces.
+  /// `algorithm` and `eta` are overwritten at every grid point.
+  SolveRequest base{.epsilon = 0.5, .realizations = 2, .seed = 7};
   std::vector<AlgorithmId> algorithms = {
       AlgorithmId::kAsti,    AlgorithmId::kAsti2, AlgorithmId::kAsti4,
       AlgorithmId::kAsti8,   AlgorithmId::kAdaptIm, AlgorithmId::kAteuc};
@@ -26,11 +31,7 @@ struct SweepOptions {
                                      DatasetId::kYoutube, DatasetId::kLiveJournal};
   /// Surrogate scale (ASM_BENCH_SCALE / --scale overrides; see cli.h).
   double scale = 0.5;
-  size_t realizations = 2;
-  double epsilon = 0.5;
-  uint64_t seed = 7;
-  bool keep_traces = false;
-  /// Sampling workers per selector (ASM_BENCH_THREADS / --threads overrides;
+  /// Engine pool size per dataset (ASM_BENCH_THREADS / --threads overrides;
   /// 1 = sequential, 0 = all hardware threads).
   size_t num_threads = 1;
 };
@@ -56,7 +57,7 @@ std::vector<SweepCell> RunEvaluationSweep(
 
 /// Applies the standard environment/CLI overrides (--scale, --realizations,
 /// --epsilon, --seed; env ASM_BENCH_SCALE, ASM_BENCH_REALIZATIONS) to
-/// `options`.
+/// `options` — the request-level ones land in options.base.
 void ApplyStandardOverrides(int argc, const char* const* argv, SweepOptions& options);
 
 }  // namespace asti

@@ -1,25 +1,6 @@
-// Wall-clock timer for harness instrumentation.
+// Legacy spelling: WallTimer moved to util/timer.h so the api/ layer can
+// use it without depending on bench scaffolding.
 
 #pragma once
 
-#include <chrono>
-
-namespace asti {
-
-/// Steady-clock stopwatch; starts at construction.
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-
-  void Restart() { start_ = std::chrono::steady_clock::now(); }
-
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace asti
+#include "util/timer.h"  // IWYU pragma: export

@@ -42,7 +42,7 @@ Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads) {
+      engine_(graph, model, options.num_threads, options.pool) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 

@@ -30,6 +30,10 @@ struct TrimOptions {
   /// Results are deterministic for a fixed seed at every setting, and
   /// identical across all settings ≠ 1 (see src/parallel/README.md).
   size_t num_threads = 1;
+  /// Externally owned worker pool; overrides num_threads when non-null.
+  /// Several selectors may share one pool (per-batch TaskGroups isolate
+  /// them) — the SeedMinEngine serving mode. Must outlive the selector.
+  ThreadPool* pool = nullptr;
 };
 
 /// Single-seed truncated influence maximizer.

@@ -49,7 +49,7 @@ TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions opti
       sampler_(graph, model),
       collection_(graph.NumNodes()),
       name_("ASTI-" + std::to_string(options.batch_size)),
-      engine_(graph, model, options.num_threads) {
+      engine_(graph, model, options.num_threads, options.pool) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
   ASM_CHECK(options_.batch_size >= 1);
 }

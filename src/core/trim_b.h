@@ -27,6 +27,8 @@ struct TrimBOptions {
   RootRounding rounding = RootRounding::kRandomized;
   /// mRR generation workers; semantics as TrimOptions::num_threads.
   size_t num_threads = 1;
+  /// Shared external pool; semantics as TrimOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Batched truncated influence maximizer.

@@ -15,7 +15,7 @@ TrimTwoGroup::TrimTwoGroup(const DirectedGraph& graph, DiffusionModel model,
       sampler_(graph, model),
       derive_(graph.NumNodes()),
       validate_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads) {
+      engine_(graph, model, options.num_threads, options.pool) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 

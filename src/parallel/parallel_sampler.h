@@ -81,10 +81,19 @@ class ParallelRrSampler {
 /// Owns the pool + batch sampler pair behind a num_threads knob: engaged
 /// (non-null get()) when num_threads != 1, a no-op handle otherwise. The
 /// one place the engagement policy lives for every selector/baseline.
+///
+/// When a non-null `shared_pool` is supplied it overrides num_threads: the
+/// engine runs its batches on that externally owned pool instead of
+/// spawning a private one (the SeedMinEngine serving mode — many selectors
+/// multiplexed on one resident pool, isolated by per-batch TaskGroups).
 class ParallelEngine {
  public:
-  ParallelEngine(const DirectedGraph& graph, DiffusionModel model, size_t num_threads) {
-    if (num_threads != 1) {
+  ParallelEngine(const DirectedGraph& graph, DiffusionModel model, size_t num_threads,
+                 ThreadPool* shared_pool = nullptr)
+      : shared_pool_(shared_pool) {
+    if (shared_pool_ != nullptr) {
+      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *shared_pool_);
+    } else if (num_threads != 1) {
       pool_ = std::make_unique<ThreadPool>(num_threads);
       sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *pool_);
     }
@@ -93,12 +102,14 @@ class ParallelEngine {
   /// The batch sampler, or nullptr when running sequentially.
   ParallelRrSampler* get() { return sampler_.get(); }
 
-  /// The shared worker pool, or nullptr when running sequentially. Coverage
-  /// solvers reuse this pool (one pool per selector, never a second one);
-  /// per-batch TaskGroup tracking keeps concurrent users isolated.
-  ThreadPool* pool() { return pool_.get(); }
+  /// The worker pool (owned or shared), or nullptr when running
+  /// sequentially. Coverage solvers reuse this pool (one pool per selector,
+  /// never a second one); per-batch TaskGroup tracking keeps concurrent
+  /// users isolated.
+  ThreadPool* pool() { return shared_pool_ != nullptr ? shared_pool_ : pool_.get(); }
 
  private:
+  ThreadPool* shared_pool_ = nullptr;  // not owned
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ParallelRrSampler> sampler_;
 };

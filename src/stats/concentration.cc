@@ -1,5 +1,7 @@
 #include "stats/concentration.h"
 
+#include <math.h>
+
 #include <algorithm>
 #include <cmath>
 
@@ -37,10 +39,31 @@ double ChernoffLowerTail(double expectation_mean, double lambda, size_t trials) 
   return std::exp(exponent);
 }
 
+namespace {
+
+// POSIX lgamma writes the process-global `signgam`, making concurrent
+// callers (SeedMinEngine requests sharing nothing else) race; the _r
+// variant takes the sign out-parameter instead. All arguments here are
+// positive, so the sign is always +1 and is discarded. lgamma_r is not
+// ISO C++, so it is used only where its declaration is certain (glibc —
+// the platform CI and the TSAN job run on). Elsewhere the std::lgamma
+// fallback may still touch signgam on POSIX libms; extend the guard when
+// porting to such a platform rather than assuming the fallback is clean.
+double LGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double LogBinomial(double n, double k) {
   ASM_CHECK(n >= k && k >= 0.0);
   if (k == 0.0 || k == n) return 0.0;
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return LGamma(n + 1.0) - LGamma(k + 1.0) - LGamma(n - k + 1.0);
 }
 
 }  // namespace asti

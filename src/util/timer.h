@@ -1,0 +1,26 @@
+// Wall-clock timer; used by the api/ serving layer for selection-cost
+// accounting and by the bench harness for instrumentation.
+
+#pragma once
+
+#include <chrono>
+
+namespace asti {
+
+/// Steady-clock stopwatch; starts at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace asti

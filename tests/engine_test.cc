@@ -1,0 +1,327 @@
+// Tests for the SeedMinEngine façade (src/api/): boundary validation
+// (Status::InvalidArgument instead of process aborts), the algorithm
+// registry, and the serving determinism contract — a SolveResult is a pure
+// function of (graph, request), bit-identical whether the request runs
+// solo, in a concurrent SolveBatch, or on a different engine instance, at
+// every pool size.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/seedmin_engine.h"
+#include "benchutil/experiment.h"
+#include "graph/generators.h"
+
+namespace asti {
+namespace {
+
+// Order-sensitive serialization of every deterministic field a client can
+// observe, down to the per-round records; wall-clock timings (the one
+// legitimately run-dependent part of a SolveResult) are excluded.
+std::string Fingerprint(const SolveResult& result) {
+  std::ostringstream out;
+  out << result.algorithm_name << '|';
+  for (double spread : result.spreads) out << spread << ',';
+  out << '|';
+  for (size_t count : result.seed_counts) out << count << ',';
+  out << '|';
+  for (const AdaptiveRunTrace& trace : result.traces) {
+    for (NodeId seed : trace.seeds) out << seed << ' ';
+    out << '/' << trace.total_activated << '/' << trace.total_samples;
+    for (const RoundRecord& round : trace.rounds) {
+      out << '[' << round.round << ':';
+      for (NodeId seed : round.seeds) out << seed << ' ';
+      out << round.shortfall_before << '/' << round.newly_activated << '/'
+          << round.truncated_gain << '/' << round.estimated_gain << '/'
+          << round.num_samples << ']';
+    }
+    out << ';';
+  }
+  out << '|' << result.aggregate.mean_seeds << '|' << result.aggregate.mean_spread
+      << '|' << result.always_reached;
+  return out.str();
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(301);
+    auto graph = BuildWeightedGraph(MakeBarabasiAlbert(220, 2, rng),
+                                    WeightScheme::kWeightedCascade);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<DirectedGraph>(std::move(graph).value());
+  }
+
+  // A mixed-algorithm request batch covering adaptive, batched, heuristic
+  // and both non-adaptive paths, each with its own seed.
+  std::vector<SolveRequest> MixedRequests() const {
+    std::vector<SolveRequest> requests;
+    auto add = [&requests](AlgorithmId algorithm, uint64_t seed) {
+      SolveRequest request;
+      request.algorithm = algorithm;
+      request.eta = 25;
+      request.realizations = 2;
+      request.seed = seed;
+      request.keep_traces = true;
+      requests.push_back(request);
+    };
+    add(AlgorithmId::kAsti, 11);
+    add(AlgorithmId::kAsti2, 12);
+    add(AlgorithmId::kDegree, 13);
+    add(AlgorithmId::kAteuc, 14);
+    add(AlgorithmId::kBisection, 15);
+    add(AlgorithmId::kAsti, 16);
+    requests.back().batch_size = 3;  // non-canonical TRIM-B batch
+    return requests;
+  }
+
+  std::unique_ptr<DirectedGraph> graph_;
+};
+
+// --- Validation at the API boundary (one test per bad field) --------------
+
+TEST_F(EngineTest, RejectsEtaZero) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = 0;
+  const auto result = engine.Solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, RejectsEtaAboveN) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = graph_->NumNodes() + 1;
+  const auto result = engine.Solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, RejectsEpsilonAtOrBelowZero) {
+  SeedMinEngine engine(*graph_);
+  for (double epsilon : {0.0, -0.5}) {
+    SolveRequest request;
+    request.eta = 10;
+    request.epsilon = epsilon;
+    const auto result = engine.Solve(request);
+    ASSERT_FALSE(result.ok()) << "epsilon=" << epsilon;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(EngineTest, RejectsEpsilonAtOrAboveOne) {
+  SeedMinEngine engine(*graph_);
+  for (double epsilon : {1.0, 2.5}) {
+    SolveRequest request;
+    request.eta = 10;
+    request.epsilon = epsilon;
+    const auto result = engine.Solve(request);
+    ASSERT_FALSE(result.ok()) << "epsilon=" << epsilon;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(EngineTest, RejectsZeroRealizations) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = 10;
+  request.realizations = 0;
+  const auto result = engine.Solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, RejectsUnknownAlgorithmId) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = 10;
+  request.algorithm = static_cast<AlgorithmId>(99);
+  const auto result = engine.Solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, RejectsBatchSizeOffPlainAsti) {
+  SeedMinEngine engine(*graph_);
+  for (AlgorithmId algorithm : {AlgorithmId::kAsti4, AlgorithmId::kAdaptIm,
+                                AlgorithmId::kDegree, AlgorithmId::kAteuc,
+                                AlgorithmId::kBisection}) {
+    SolveRequest request;
+    request.eta = 10;
+    request.algorithm = algorithm;
+    request.batch_size = 4;
+    const auto result = engine.Solve(request);
+    ASSERT_FALSE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(EngineTest, RejectsZeroOracleTrials) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = 10;
+  request.algorithm = AlgorithmId::kOracle;
+  request.oracle_trials = 0;
+  const auto result = engine.Solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, AsyncInvalidRequestResolvesToStatusNotCrash) {
+  SeedMinEngine engine(*graph_);
+  SolveRequest request;
+  request.eta = 0;
+  auto future = engine.SubmitAsync(request);
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Registry --------------------------------------------------------------
+
+TEST(AlgorithmRegistryTest, ListCoversEveryIdWithNames) {
+  const auto& catalog = AlgorithmRegistry::List();
+  EXPECT_EQ(catalog.size(), 9u);
+  for (const AlgorithmInfo& info : catalog) {
+    EXPECT_STREQ(info.name, AlgorithmRegistry::Name(info.id));
+    EXPECT_NE(std::string(info.paper_name), "");
+  }
+}
+
+TEST(AlgorithmRegistryTest, ParsesCanonicalAndBatchedNames) {
+  auto asti = AlgorithmRegistry::Parse("ASTI");
+  ASSERT_TRUE(asti.ok());
+  EXPECT_EQ(asti->id, AlgorithmId::kAsti);
+  EXPECT_EQ(asti->batch_size, 0u);
+
+  auto asti4 = AlgorithmRegistry::Parse("ASTI-4");
+  ASSERT_TRUE(asti4.ok());
+  EXPECT_EQ(asti4->id, AlgorithmId::kAsti4);
+
+  auto asti16 = AlgorithmRegistry::Parse("ASTI-16");
+  ASSERT_TRUE(asti16.ok());
+  EXPECT_EQ(asti16->id, AlgorithmId::kAsti);
+  EXPECT_EQ(asti16->batch_size, 16u);
+
+  EXPECT_TRUE(AlgorithmRegistry::Parse("AdaptIM").ok());
+  EXPECT_TRUE(AlgorithmRegistry::Parse("Degree").ok());
+  EXPECT_FALSE(AlgorithmRegistry::Parse("ASTI-0").ok());
+  EXPECT_FALSE(AlgorithmRegistry::Parse("ASTI-4x").ok());   // trailing garbage
+  EXPECT_FALSE(AlgorithmRegistry::Parse("ASTI-1.5").ok());  // not an integer
+  EXPECT_FALSE(AlgorithmRegistry::Parse("ASTI-").ok());
+  EXPECT_FALSE(AlgorithmRegistry::Parse("nope").ok());
+}
+
+TEST_F(EngineTest, RegistryRefusesNonAdaptiveSelectors) {
+  AlgorithmContext ctx;
+  ctx.graph = graph_.get();
+  for (AlgorithmId algorithm : {AlgorithmId::kAteuc, AlgorithmId::kBisection}) {
+    auto selector = AlgorithmRegistry::Make(algorithm, ctx);
+    ASSERT_FALSE(selector.ok());
+    EXPECT_EQ(selector.status().code(), StatusCode::kInvalidArgument);
+  }
+  auto trim = AlgorithmRegistry::Make(AlgorithmId::kAsti, ctx);
+  ASSERT_TRUE(trim.ok());
+  EXPECT_STREQ((*trim)->Name(), "ASTI");
+}
+
+// --- Serving determinism ---------------------------------------------------
+
+TEST_F(EngineTest, SolveMatchesLegacyRunCell) {
+  SolveRequest request;
+  request.algorithm = AlgorithmId::kAsti;
+  request.eta = 25;
+  request.realizations = 2;
+  request.seed = 5;
+  request.keep_traces = true;
+  SeedMinEngine engine(*graph_);
+  const auto via_engine = engine.Solve(request);
+  ASSERT_TRUE(via_engine.ok());
+
+  CellConfig config;
+  config.algorithm = AlgorithmId::kAsti;
+  config.eta = 25;
+  config.realizations = 2;
+  config.seed = 5;
+  config.keep_traces = true;
+  const CellResult via_runcell = RunCell(*graph_, config);
+  EXPECT_EQ(Fingerprint(*via_engine), Fingerprint(via_runcell));
+}
+
+// The headline contract: SubmitAsync-ing N mixed-algorithm requests
+// concurrently yields byte-identical SolveResults to solo sequential
+// Solve calls, at every pool size.
+TEST_F(EngineTest, ConcurrentBatchMatchesSoloAtEveryPoolSize) {
+  const std::vector<SolveRequest> requests = MixedRequests();
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> solo;
+    {
+      SeedMinEngine engine(*graph_, {threads});
+      for (const SolveRequest& request : requests) {
+        const auto result = engine.Solve(request);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        solo.push_back(Fingerprint(*result));
+      }
+    }
+    SeedMinEngine engine(*graph_, {threads});
+    const auto batch = engine.SolveBatch(requests);
+    ASSERT_EQ(batch.size(), requests.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+      EXPECT_EQ(Fingerprint(*batch[i]), solo[i])
+          << "threads=" << threads << " request=" << i << " ("
+          << AlgorithmName(requests[i].algorithm) << ")";
+    }
+  }
+}
+
+// Two engines sharing no state but the same request seeds agree, and a
+// request interleaved with other clients' async work equals its solo run.
+TEST_F(EngineTest, IndependentEnginesAndInterleavedClientsAgree) {
+  const std::vector<SolveRequest> requests = MixedRequests();
+  SeedMinEngine engine_a(*graph_, {2});
+  SeedMinEngine engine_b(*graph_, {2});
+
+  // Client 1 submits everything async on A; client 2 solves solo on B.
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  for (const SolveRequest& request : requests) {
+    futures.push_back(engine_a.SubmitAsync(request));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto from_b = engine_b.Solve(requests[i]);
+    ASSERT_TRUE(from_b.ok());
+    const auto from_a = futures[i].get();
+    ASSERT_TRUE(from_a.ok());
+    EXPECT_EQ(Fingerprint(*from_a), Fingerprint(*from_b)) << "request " << i;
+  }
+}
+
+// The parallel sampling/coverage path is pool-size invariant, so engine
+// results agree across every pool size > 1.
+TEST_F(EngineTest, PoolSizesAboveOneAgree) {
+  SolveRequest request;
+  request.algorithm = AlgorithmId::kAsti2;
+  request.eta = 25;
+  request.seed = 21;
+  request.keep_traces = true;
+  std::string reference;
+  for (size_t threads : {2u, 4u, 8u}) {
+    SeedMinEngine engine(*graph_, {threads});
+    const auto result = engine.Solve(request);
+    ASSERT_TRUE(result.ok());
+    if (reference.empty()) {
+      reference = Fingerprint(*result);
+    } else {
+      EXPECT_EQ(Fingerprint(*result), reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asti
