@@ -1,24 +1,36 @@
-// SeedMinEngine serving throughput: queries/s vs concurrent clients.
+// SeedMinEngine serving throughput: queries/s vs concurrent drivers, plus
+// an admission-saturation measurement.
 //
 // Not a paper figure — measures the src/api/ serving front. One resident
-// engine (shared pool) serves Q mixed-algorithm SolveRequests at each
-// requested client concurrency: C requests are kept in flight via
-// SubmitAsync until the queue drains. Each request's RNG streams derive
-// from its own seed, so the per-request results — and therefore the
-// cross-client determinism checksum printed per row — must be identical at
-// every concurrency level; the binary exits non-zero on a mismatch, like
-// bench_parallel_scaling.
+// engine (shared pool + admission queue) serves Q mixed-algorithm
+// SolveRequests at each requested driver concurrency: all requests are
+// submitted up front and the engine's fixed driver pool is the
+// concurrency bound (no per-request threads since the admission rework).
+// Each request's RNG streams derive from its own seed, so the per-request
+// results — and therefore the cross-client determinism checksum printed
+// per row — must be identical at every concurrency level; the binary
+// exits non-zero on a mismatch, like bench_parallel_scaling.
 //
-//   --clients 1,2,4,8     client concurrency levels to sweep
+// The saturation phase rebuilds the engine with a deliberately tiny
+// admission capacity and rejection (non-blocking) policy, bursts every
+// query at it, and reports admitted/rejected counts — the backpressure a
+// real traffic front sees — re-checking that every admitted result is
+// bit-identical to its unsaturated run.
+//
+//   --clients 1,2,4,8     driver-concurrency levels to sweep
 //   --queries 24          requests per level
 //   --threads 0           engine pool size (0 = all cores, 1 = sequential)
+//   --drivers 0           driver threads (0 = match the client level)
+//   --queue-depth 64      waiting-room slots beyond the drivers
+//   --sat-drivers 2       saturation phase: driver threads
+//   --sat-queue 4         saturation phase: waiting-room slots
 //   --eta-fraction 0.05   per-request threshold
 //   --scale 1.0           graph size multiplier
 //   --model ic|lt
+//   --json PATH           machine-readable results (CI artifact)
 
-#include <chrono>
 #include <cstdint>
-#include <future>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -34,23 +46,38 @@
 namespace asti {
 namespace {
 
-// Order-sensitive digest over every request's observable outcome.
-uint64_t ResultChecksum(const std::vector<StatusOr<SolveResult>>& results) {
+// Order-sensitive digest over one request's observable outcome.
+uint64_t OneResultChecksum(const SolveResult& result) {
   uint64_t digest = 0xcbf29ce484222325ULL;
   auto mix = [&digest](uint64_t word) {
     word *= 0x100000001b3ULL;
     digest ^= word + (digest << 6) + (digest >> 2);
   };
-  for (const StatusOr<SolveResult>& solved : results) {
-    ASM_CHECK(solved.ok()) << solved.status().ToString();
-    for (const AdaptiveRunTrace& trace : solved->traces) {
-      for (NodeId seed : trace.seeds) mix(seed);
-      mix(trace.total_activated);
-    }
-    for (size_t count : solved->seed_counts) mix(count);
+  for (const AdaptiveRunTrace& trace : result.traces) {
+    for (NodeId seed : trace.seeds) mix(seed);
+    mix(trace.total_activated);
+  }
+  for (size_t count : result.seed_counts) mix(count);
+  return digest;
+}
+
+// Combined digest across every request, in request order.
+uint64_t BatchChecksum(const std::vector<uint64_t>& per_request) {
+  uint64_t digest = 0x84222325cbf29ce4ULL;
+  for (uint64_t word : per_request) {
+    word *= 0x100000001b3ULL;
+    digest ^= word + (digest << 6) + (digest >> 2);
   }
   return digest;
 }
+
+struct LevelRow {
+  size_t clients = 0;
+  size_t drivers = 0;
+  double rate = 0.0;
+  double speedup = 1.0;
+  uint64_t checksum = 0;
+};
 
 }  // namespace
 }  // namespace asti
@@ -69,6 +96,18 @@ int main(int argc, char** argv) {
   const std::vector<size_t> client_counts =
       ParseSizeList(cli.GetString("clients", "1,2,4,8"), "--clients", 1);
   const size_t pool_threads = NumThreadsOverride(cli, 0);
+  // Guarded casts: a negative flag must fail readably, not wrap to ~2^64
+  // drivers/slots and crash the engine constructor.
+  auto count_flag = [&cli](const char* name, int64_t fallback) {
+    const int64_t value = cli.GetInt(name, fallback);
+    ASM_CHECK(value >= 0) << "--" << name << " must be >= 0, got " << value;
+    return static_cast<size_t>(value);
+  };
+  const size_t drivers_override = count_flag("drivers", 0);
+  const size_t queue_depth = count_flag("queue-depth", 64);
+  const size_t sat_drivers = count_flag("sat-drivers", 2);
+  const size_t sat_queue = count_flag("sat-queue", 4);
+  const std::string json_path = cli.GetString("json", "");
 
   // Power-law generator graph, the regime of the paper's datasets.
   const NodeId n = static_cast<NodeId>(8000 * scale);
@@ -96,61 +135,134 @@ int main(int argc, char** argv) {
     requests.push_back(request);
   }
 
-  SeedMinEngine engine(*graph, {pool_threads});
   std::cout << "SeedMinEngine serving throughput on Chung-Lu graph (n="
             << graph->NumNodes() << ", m=" << graph->NumEdges()
             << ", model=" << DiffusionModelName(model) << ", eta=" << eta
-            << ", queries/level=" << queries << ", pool="
-            << (engine.pool() != nullptr ? engine.pool()->NumThreads() : 1)
-            << " threads)\n\n";
+            << ", queries/level=" << queries << ", pool threads="
+            << (pool_threads == 0 ? std::string("hw") : std::to_string(pool_threads))
+            << ", queue depth=" << queue_depth << ")\n\n";
 
-  TextTable table({"clients", "queries/s", "speedup", "checksum"});
+  TextTable table({"clients", "drivers", "queries/s", "speedup", "checksum"});
+  std::vector<LevelRow> rows;
+  std::vector<uint64_t> reference_digests;  // per request, from level 1
   double base_rate = 0.0;
   uint64_t reference_checksum = 0;
   bool deterministic = true;
   for (size_t clients : client_counts) {
-    std::vector<StatusOr<SolveResult>> results;
-    for (size_t i = 0; i < requests.size(); ++i) {
-      results.emplace_back(Status::Internal("not served"));
-    }
+    // The engine's driver pool IS the concurrency under test: D drivers
+    // execute admitted requests, blocking admission absorbs the rest.
+    SeedMinEngine::Options options;
+    options.num_threads = pool_threads;
+    options.num_drivers = drivers_override != 0 ? drivers_override : clients;
+    options.max_queue_depth = std::max(queue_depth, queries);  // never reject here
+    options.block_when_full = true;
+    SeedMinEngine engine(*graph, options);
+
     WallTimer timer;
-    // Sliding window: keep `clients` requests in flight until all served.
-    // Harvest ANY ready future (not just the oldest) so one slow request
-    // can't head-of-line-block the window and under-fill the concurrency
-    // level being measured.
-    std::vector<std::pair<size_t, std::future<StatusOr<SolveResult>>>> in_flight;
-    size_t next = 0;
-    while (next < requests.size() || !in_flight.empty()) {
-      while (next < requests.size() && in_flight.size() < clients) {
-        in_flight.emplace_back(next, engine.SubmitAsync(requests[next]));
-        ++next;
-      }
-      bool harvested = false;
-      for (size_t j = 0; j < in_flight.size(); ++j) {
-        if (in_flight[j].second.wait_for(std::chrono::seconds(0)) ==
-            std::future_status::ready) {
-          results[in_flight[j].first] = in_flight[j].second.get();
-          in_flight.erase(in_flight.begin() + static_cast<ptrdiff_t>(j));
-          harvested = true;
-          break;
-        }
-      }
-      if (!harvested) {
-        in_flight.front().second.wait_for(std::chrono::milliseconds(1));
-      }
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    futures.reserve(requests.size());
+    for (const SolveRequest& request : requests) {
+      futures.push_back(engine.SubmitAsync(request));
+    }
+    std::vector<uint64_t> digests;
+    digests.reserve(futures.size());
+    for (auto& future : futures) {
+      const StatusOr<SolveResult> solved = future.get();
+      ASM_CHECK(solved.ok()) << solved.status().ToString();
+      digests.push_back(OneResultChecksum(*solved));
     }
     const double seconds = timer.Seconds();
-    const uint64_t checksum = ResultChecksum(results);
-    if (reference_checksum == 0) reference_checksum = checksum;
+
+    const uint64_t checksum = BatchChecksum(digests);
+    if (reference_digests.empty()) {
+      reference_digests = digests;
+      reference_checksum = checksum;
+    }
     deterministic = deterministic && checksum == reference_checksum;
     const double rate = static_cast<double>(queries) / seconds;
     if (base_rate == 0.0) base_rate = rate;
-    table.AddRow({std::to_string(clients), FormatDouble(rate, 1),
-                  FormatDouble(rate / base_rate) + "x",
+    LevelRow row;
+    row.clients = clients;
+    row.drivers = options.num_drivers;
+    row.rate = rate;
+    row.speedup = rate / base_rate;
+    row.checksum = checksum;
+    rows.push_back(row);
+    table.AddRow({std::to_string(clients), std::to_string(row.drivers),
+                  FormatDouble(rate, 1), FormatDouble(row.speedup) + "x",
                   std::to_string(checksum % 1000000)});
   }
   table.Print(std::cout);
   std::cout << "\nResult checksum identical across client counts: "
             << (deterministic ? "yes" : "NO — determinism violated") << "\n";
+
+  // --- Saturation: burst everything at a tiny rejecting queue ------------
+  SeedMinEngine::Options sat_options;
+  sat_options.num_threads = pool_threads;
+  sat_options.num_drivers = sat_drivers;
+  sat_options.max_queue_depth = sat_queue;
+  sat_options.block_when_full = false;  // rejection is the point
+  size_t admitted = 0;
+  size_t rejected = 0;
+  bool admitted_match_reference = true;
+  {
+    SeedMinEngine engine(*graph, sat_options);
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    futures.reserve(requests.size());
+    for (const SolveRequest& request : requests) {
+      futures.push_back(engine.SubmitAsync(request));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const StatusOr<SolveResult> solved = futures[i].get();
+      if (solved.ok()) {
+        ++admitted;
+        admitted_match_reference = admitted_match_reference &&
+                                   OneResultChecksum(*solved) == reference_digests[i];
+      } else {
+        ASM_CHECK(solved.status().code() == StatusCode::kResourceExhausted)
+            << solved.status().ToString();
+        ++rejected;
+      }
+    }
+    const AdmissionQueue::Stats stats = engine.admission_stats();
+    ASM_CHECK(stats.rejected == rejected);
+  }
+  const size_t capacity = sat_drivers + sat_queue;
+  std::cout << "\nSaturation burst (" << queries << " submissions at capacity "
+            << capacity << " = " << sat_drivers << " drivers + " << sat_queue
+            << " queue slots): " << admitted << " admitted, " << rejected
+            << " rejected (ResourceExhausted)\n"
+            << "Admitted results bit-identical to unsaturated runs: "
+            << (admitted_match_reference ? "yes" : "NO — determinism violated")
+            << "\n";
+  deterministic = deterministic && admitted_match_reference;
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    ASM_CHECK(out.good()) << "cannot open --json path " << json_path;
+    out << "{\n"
+        << "  \"graph\": {\"nodes\": " << graph->NumNodes()
+        << ", \"edges\": " << graph->NumEdges() << "},\n"
+        << "  \"model\": \"" << DiffusionModelName(model) << "\",\n"
+        << "  \"eta\": " << eta << ",\n"
+        << "  \"queries_per_level\": " << queries << ",\n"
+        << "  \"pool_threads\": " << pool_threads << ",\n"
+        << "  \"levels\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"clients\": " << rows[i].clients
+          << ", \"drivers\": " << rows[i].drivers
+          << ", \"queries_per_s\": " << rows[i].rate
+          << ", \"speedup\": " << rows[i].speedup
+          << ", \"checksum\": " << rows[i].checksum << "}";
+    }
+    out << "\n  ],\n"
+        << "  \"saturation\": {\"capacity\": " << capacity
+        << ", \"drivers\": " << sat_drivers << ", \"queue_depth\": " << sat_queue
+        << ", \"submitted\": " << queries << ", \"admitted\": " << admitted
+        << ", \"rejected\": " << rejected << "},\n"
+        << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
+        << "}\n";
+  }
   return deterministic ? 0 : 1;
 }

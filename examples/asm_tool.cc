@@ -11,15 +11,16 @@
 //
 // Usage:
 //   asm_tool --graph edges.txt --eta 500
-//   asm_tool --dataset nethept --scale 0.2 --eta-fraction 0.05 \
+//   asm_tool --dataset nethept --scale 0.2 --eta-fraction 0.05
 //            --model LT --algorithm ASTI-4 --runs 3 --save-traces out.tr
 //   asm_tool --list-algorithms
 //
 // Flags: --graph PATH | --dataset NAME [--scale S], --eta N |
 // --eta-fraction F, --model IC|LT, --algorithm NAME (see
 // --list-algorithms; ASTI-b accepts any b >= 1), --epsilon E, --threads T
-// (1 = sequential, 0 = all cores), --runs R, --seed S, --save-traces PATH,
-// --quiet.
+// (1 = sequential, 0 = all cores), --runs R, --seed S,
+// --timeout SECONDS (abandon the run with DeadlineExceeded past the
+// budget; unset = no deadline), --save-traces PATH, --quiet.
 
 #include <iostream>
 
@@ -103,6 +104,20 @@ int Run(int argc, char** argv) {
     return 1;
   }
   request.realizations = static_cast<size_t>(runs);
+  // A wall-clock budget for the whole invocation (all runs): past it the
+  // engine's cooperative cancellation unwinds at the next chunk/round
+  // boundary and the tool reports DeadlineExceeded instead of hanging on
+  // an over-ambitious eta. 0 or negative is rejected — an already-expired
+  // deadline would just burn the graph-loading work.
+  if (cli.Has("timeout")) {
+    const double timeout = cli.GetDouble("timeout", 0.0);
+    if (timeout <= 0.0) {
+      std::cerr << "InvalidArgument: --timeout must be > 0 seconds, got "
+                << timeout << "\n";
+      return 1;
+    }
+    request.deadline = DeadlineAfter(timeout);
+  }
   const int64_t threads = cli.GetInt("threads", 1);
   if (threads < 0) {
     std::cerr << "InvalidArgument: --threads must be >= 0, got " << threads << "\n";
@@ -131,8 +146,12 @@ int Run(int argc, char** argv) {
       TextTable table({"round", "seeds", "activated", "shortfall", "samples"});
       for (const RoundRecord& round : trace.rounds) {
         std::string seeds;
-        for (NodeId s : round.seeds) seeds += (seeds.empty() ? "" : ",") +
-                                              std::to_string(s);
+        for (NodeId s : round.seeds) {
+          // append(): GCC 12 -Wrestrict false-positives on char* +
+          // to_string temporaries under -O2 (PR 105651).
+          if (!seeds.empty()) seeds.append(",");
+          seeds.append(std::to_string(s));
+        }
         table.AddRow({std::to_string(round.round), seeds,
                       std::to_string(round.newly_activated),
                       std::to_string(round.shortfall_before),

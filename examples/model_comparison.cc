@@ -27,7 +27,12 @@ int main() {
   std::cout << "IC vs LT on a friendship network: n=" << graph->NumNodes()
             << ", m=" << graph->NumEdges() << ", eta=" << eta << "\n\n";
 
-  SeedMinEngine engine(*graph);
+  // Four drivers serve the four queries concurrently; the admission queue
+  // would absorb (or, with block_when_full, throttle) anything beyond
+  // drivers + max_queue_depth in a real serving deployment.
+  SeedMinEngine::Options options;
+  options.num_drivers = 4;
+  SeedMinEngine engine(*graph, options);
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   std::vector<DiffusionModel> models;
   for (DiffusionModel model :

@@ -8,8 +8,10 @@
 //   * bisection-on-k (the pre-ATEUC literature's transformation),
 //   * adaptive highest-degree heuristic (what a naive growth team does).
 // All four run as one SolveBatch on a shared SeedMinEngine — the requests
-// are served concurrently, and because every request's RNG streams derive
-// from its own seed, each row is bit-identical to a solo run.
+// are admitted into the engine's bounded queue and served by its driver
+// pool (SolveBatch uses blocking admission, so batches of any size
+// throttle rather than reject), and because every request's RNG streams
+// derive from its own seed, each row is bit-identical to a solo run.
 
 #include <iostream>
 #include <vector>

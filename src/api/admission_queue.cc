@@ -1,0 +1,78 @@
+#include "api/admission_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace asti {
+
+AdmissionQueue::AdmissionQueue(size_t capacity) : capacity_(capacity) {
+  ASM_CHECK(capacity >= 1) << "admission capacity must be >= 1";
+}
+
+AdmissionQueue::AdmitResult AdmissionQueue::Admit(AdmissionTask task,
+                                                  AdmitPolicy policy) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (policy == AdmitPolicy::kBlock) {
+    space_.wait(lock, [this] { return closed_ || in_flight_ < capacity_; });
+  }
+  if (closed_) return AdmitResult::kClosed;
+  if (in_flight_ >= capacity_) {
+    ++stats_.rejected;
+    return AdmitResult::kRejected;
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  ready_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+bool AdmissionQueue::Pop(AdmissionTask& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  // Close() sets closed_ and strips the queue under this same mutex, so
+  // an empty queue here implies closed — consumers exit; they never see
+  // closed-with-items.
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void AdmissionQueue::Complete() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ASM_CHECK(in_flight_ >= 1) << "Complete without a matching Admit";
+    --in_flight_;
+    ++stats_.completed;
+  }
+  space_.notify_one();
+}
+
+std::vector<AdmissionTask> AdmissionQueue::Close() {
+  std::vector<AdmissionTask> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    orphans.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+    queue_.clear();
+  }
+  ready_.notify_all();
+  space_.notify_all();
+  return orphans;
+}
+
+size_t AdmissionQueue::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace asti

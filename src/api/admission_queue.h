@@ -1,0 +1,105 @@
+// Bounded MPMC admission queue — the backpressure primitive behind
+// SeedMinEngine's serving front.
+//
+// PR 3's SubmitAsync launched one detached std::async thread per request:
+// a burst of B clients meant B driver threads all contending for the one
+// shared sampling pool, with nothing to say "no". This queue inverts that:
+// producers (client threads calling SubmitAsync / SolveBatch) admit work
+// items, a small fixed set of consumers (the engine's driver threads)
+// executes them, and admission is counted from *accept to completion* —
+// not accept to dequeue — so the bound covers queued AND executing
+// requests. With capacity Q + D (Q waiting slots, D drivers), a burst of
+// Q + D + k submissions yields exactly k rejections regardless of how the
+// dequeue races go, because dequeuing alone never frees a slot.
+//
+// A work item is a callback taking one flag: drivers run it with
+// aborted = false; items stripped by Close() (engine destruction with
+// requests still queued) are run with aborted = true so their futures can
+// resolve to Status::Cancelled instead of being dropped. Items must not
+// throw.
+//
+// Thread-safety: every member is safe to call concurrently. Blocking
+// admission (kBlock) waits on completion capacity and is woken by either
+// a slot freeing or Close(); Pop blocks until an item or Close arrives.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace asti {
+
+/// One admitted unit of work. `aborted` is true only when the queue was
+/// closed before a driver picked the item up.
+using AdmissionTask = std::function<void(bool aborted)>;
+
+class AdmissionQueue {
+ public:
+  enum class AdmitPolicy {
+    kReject,  // full queue answers kRejected immediately (backpressure to caller)
+    kBlock,   // full queue blocks the producer until a slot frees or Close()
+  };
+
+  enum class AdmitResult {
+    kAdmitted,
+    kRejected,  // capacity exhausted under kReject
+    kClosed,    // Close() ran; nothing is admitted any more
+  };
+
+  /// Monotonic counters; snapshot via stats(). admitted counts successful
+  /// Admit calls, completed counts Complete calls (aborted items
+  /// included). Since a consumer calls Complete after running the item,
+  /// completed can momentarily trail the resolution of the item's future.
+  struct Stats {
+    size_t admitted = 0;
+    size_t rejected = 0;
+    size_t completed = 0;
+  };
+
+  /// `capacity` bounds admitted-but-not-completed items; >= 1.
+  explicit AdmissionQueue(size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Tries to admit one item. On kAdmitted the item occupies a capacity
+  /// slot until Complete() is called for it.
+  AdmitResult Admit(AdmissionTask task, AdmitPolicy policy);
+
+  /// Consumer side: blocks until an item is available (true) or the queue
+  /// is closed (false, `out` untouched). Callers must invoke the item and
+  /// then Complete().
+  bool Pop(AdmissionTask& out);
+
+  /// Releases one capacity slot (an item finished executing or aborting).
+  void Complete();
+
+  /// Stops admission, wakes every blocked producer and consumer, and
+  /// returns the items that were queued but never popped — the caller
+  /// runs them with aborted = true (and calls Complete() for each).
+  /// Idempotent; later calls return nothing.
+  std::vector<AdmissionTask> Close();
+
+  size_t capacity() const { return capacity_; }
+
+  /// Admitted-but-not-completed items right now (queued + executing).
+  size_t InFlight() const;
+
+  Stats stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_;  // producers blocked under kBlock
+  std::condition_variable ready_;  // consumers waiting in Pop
+  std::deque<AdmissionTask> queue_;
+  size_t in_flight_ = 0;  // admitted, not yet completed
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace asti

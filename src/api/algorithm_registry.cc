@@ -96,6 +96,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
         options.rounding = ctx.rounding;
         options.num_threads = ctx.num_threads;
         options.pool = ctx.pool;
+        options.cancel = ctx.cancel;
         return std::unique_ptr<RoundSelector>(
             std::make_unique<Trim>(graph, ctx.model, options));
       }
@@ -105,6 +106,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.rounding = ctx.rounding;
       options.num_threads = ctx.num_threads;
       options.pool = ctx.pool;
+      options.cancel = ctx.cancel;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<TrimB>(graph, ctx.model, options));
     }
@@ -113,6 +115,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.epsilon = ctx.epsilon;
       options.num_threads = ctx.num_threads;
       options.pool = ctx.pool;
+      options.cancel = ctx.cancel;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<AdaptIm>(graph, ctx.model, options));
     }

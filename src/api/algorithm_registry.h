@@ -19,6 +19,7 @@
 #include "core/selector.h"
 #include "diffusion/model.h"
 #include "stats/truncation.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace asti {
@@ -73,6 +74,10 @@ struct AlgorithmContext {
   size_t num_threads = 1;
   /// Shared resident pool (overrides num_threads); the SeedMinEngine mode.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition threaded into the selector's sampling and
+  /// coverage loops (not owned; must outlive the selector). See
+  /// TrimOptions::cancel for the unwind contract.
+  const CancelScope* cancel = nullptr;
 };
 
 class AlgorithmRegistry {

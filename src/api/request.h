@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "diffusion/model.h"
 #include "graph/types.h"
 #include "stats/truncation.h"
+#include "util/cancellation.h"
 
 namespace asti {
 
@@ -56,6 +58,17 @@ struct SolveRequest {
   RootRounding rounding = RootRounding::kRandomized;
   /// MC trials per candidate for OracleGreedy.
   size_t oracle_trials = 200;
+  /// Cooperative cancellation handle (optional, not owned; may be shared
+  /// by several requests). Must stay alive until this request's result —
+  /// or future — resolves; the engine polls it at chunk/pick/round
+  /// boundaries and answers Status::Cancelled once it fires. Completed
+  /// results are bit-identical with or without a token attached.
+  const CancelToken* cancel = nullptr;
+  /// Absolute steady-clock deadline; kNoDeadline (the default) disables
+  /// it. Measured against the whole request lifetime — queue wait under
+  /// SubmitAsync counts — and answered with Status::DeadlineExceeded.
+  /// Build relative deadlines with DeadlineAfter(seconds).
+  std::chrono::steady_clock::time_point deadline = CancelScope::kNoDeadline;
 };
 
 /// The engine's answer: per-realization outcomes plus their aggregate.

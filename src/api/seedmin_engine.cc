@@ -50,9 +50,32 @@ void FinishResult(const SolveRequest& request, std::vector<AdaptiveRunTrace> tra
 
 }  // namespace
 
+// One admitted request: the query plus the promise its SubmitAsync future
+// observes. Owned by the AdmissionTask closure until resolution.
+struct SeedMinEngine::PendingRequest {
+  SolveRequest request;
+  std::promise<StatusOr<SolveResult>> promise;
+};
+
 SeedMinEngine::SeedMinEngine(const DirectedGraph& graph, Options options)
     : graph_(&graph), options_(options) {
   if (options_.num_threads != 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  options_.num_drivers = ResolveThreadCount(options_.num_drivers);
+  const size_t capacity = options_.max_inflight != 0
+                              ? options_.max_inflight
+                              : options_.num_drivers + options_.max_queue_depth;
+  queue_ = std::make_unique<AdmissionQueue>(capacity);
+}
+
+SeedMinEngine::~SeedMinEngine() {
+  // Abort-queued / drain-executing: strip never-started requests and
+  // resolve their futures to Cancelled, then join the drivers, which
+  // finish whatever they already picked up.
+  for (AdmissionTask& orphan : queue_->Close()) {
+    orphan(/*aborted=*/true);
+    queue_->Complete();
+  }
+  for (std::thread& driver : drivers_) driver.join();
 }
 
 Status SeedMinEngine::Validate(const SolveRequest& request) const {
@@ -90,34 +113,106 @@ Status SeedMinEngine::Validate(const SolveRequest& request) const {
 
 StatusOr<SolveResult> SeedMinEngine::Solve(const SolveRequest& request) {
   ASM_RETURN_NOT_OK(Validate(request));
-  if (request.algorithm == AlgorithmId::kAteuc) return RunAteucRequest(request);
-  if (request.algorithm == AlgorithmId::kBisection) {
-    return RunBisectionRequest(request);
+  const CancelScope scope(request.cancel, request.deadline);
+  ASM_RETURN_NOT_OK(scope.ToStatus());  // expired/cancelled before any work
+  if (request.algorithm == AlgorithmId::kAteuc) {
+    return RunAteucRequest(request, scope);
   }
-  return RunAdaptive(request);
+  if (request.algorithm == AlgorithmId::kBisection) {
+    return RunBisectionRequest(request, scope);
+  }
+  return RunAdaptive(request, scope);
+}
+
+void SeedMinEngine::EnsureDrivers() {
+  std::call_once(drivers_once_, [this] {
+    drivers_.reserve(options_.num_drivers);
+    for (size_t i = 0; i < options_.num_drivers; ++i) {
+      drivers_.emplace_back([this] { DriverLoop(); });
+    }
+  });
+}
+
+void SeedMinEngine::DriverLoop() {
+  AdmissionTask task;
+  while (queue_->Pop(task)) {
+    task(/*aborted=*/false);
+    queue_->Complete();
+    task = nullptr;  // release the closure before blocking in Pop again
+  }
+}
+
+std::future<StatusOr<SolveResult>> SeedMinEngine::Submit(
+    SolveRequest request, AdmissionQueue::AdmitPolicy policy) {
+  auto pending = std::make_shared<PendingRequest>();
+  pending->request = std::move(request);
+  std::future<StatusOr<SolveResult>> future = pending->promise.get_future();
+
+  // Fast-fail on the caller's thread: invalid requests and dead-on-arrival
+  // deadlines/cancellations never consume admission capacity.
+  const Status invalid = Validate(pending->request);
+  if (!invalid.ok()) {
+    pending->promise.set_value(invalid);
+    return future;
+  }
+  const CancelScope scope(pending->request.cancel, pending->request.deadline);
+  const Status stopped = scope.ToStatus();
+  if (!stopped.ok()) {
+    pending->promise.set_value(stopped);
+    return future;
+  }
+
+  EnsureDrivers();
+  AdmissionTask task = [this, pending](bool aborted) {
+    if (aborted) {
+      pending->promise.set_value(
+          Status::Cancelled("engine destroyed before the request executed"));
+      return;
+    }
+    // Solve re-checks the deadline/cancel scope on entry, so a request
+    // whose deadline expired while queued resolves promptly without
+    // touching the sampling pool.
+    pending->promise.set_value(Solve(pending->request));
+  };
+  switch (queue_->Admit(std::move(task), policy)) {
+    case AdmissionQueue::AdmitResult::kAdmitted:
+      break;
+    case AdmissionQueue::AdmitResult::kRejected:
+      pending->promise.set_value(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_->capacity()) +
+          " in flight); retry later or raise max_queue_depth/num_drivers"));
+      break;
+    case AdmissionQueue::AdmitResult::kClosed:
+      pending->promise.set_value(
+          Status::Cancelled("engine is shutting down; request not admitted"));
+      break;
+  }
+  return future;
 }
 
 std::future<StatusOr<SolveResult>> SeedMinEngine::SubmitAsync(SolveRequest request) {
-  // One lightweight driver thread per request; the heavy lifting (sampling
-  // batches, coverage scans) still lands on the shared pool. Driving the
-  // solve on a pool worker would risk deadlock: a solve blocks on its
-  // TaskGroup, and with all workers blocked no sampling task could run.
-  return std::async(std::launch::async,
-                    [this, request = std::move(request)]() { return Solve(request); });
+  return Submit(std::move(request), options_.block_when_full
+                                        ? AdmissionQueue::AdmitPolicy::kBlock
+                                        : AdmissionQueue::AdmitPolicy::kReject);
 }
 
 std::vector<StatusOr<SolveResult>> SeedMinEngine::SolveBatch(
     std::span<const SolveRequest> requests) {
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   futures.reserve(requests.size());
-  for (const SolveRequest& request : requests) futures.push_back(SubmitAsync(request));
+  for (const SolveRequest& request : requests) {
+    // Blocking admission: the synchronous batch caller is the natural
+    // backpressure, so oversized batches throttle instead of rejecting.
+    futures.push_back(Submit(request, AdmissionQueue::AdmitPolicy::kBlock));
+  }
   std::vector<StatusOr<SolveResult>> results;
   results.reserve(requests.size());
   for (auto& future : futures) results.push_back(future.get());
   return results;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request) {
+StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request,
+                                                 const CancelScope& scope) {
   AlgorithmContext ctx;
   ctx.graph = graph_;
   ctx.model = request.model;
@@ -127,6 +222,7 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request) {
   ctx.oracle_trials = request.oracle_trials;
   ctx.num_threads = options_.num_threads;
   ctx.pool = pool_.get();
+  ctx.cancel = &scope;
 
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
@@ -139,7 +235,11 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request) {
     auto selector = AlgorithmRegistry::Make(request.algorithm, ctx);
     if (!selector.ok()) return selector.status();
     if (result.algorithm_name.empty()) result.algorithm_name = (*selector)->Name();
-    AdaptiveRunTrace trace = RunAdaptivePolicy(world, **selector, selector_rng);
+    AdaptiveRunTrace trace = RunAdaptivePolicy(world, **selector, selector_rng, &scope);
+    // A fired scope means the trace is partial: discard everything and
+    // answer with the stop verdict (completed results stay pure functions
+    // of (graph, request) — no partial data ever leaks out).
+    ASM_RETURN_NOT_OK(scope.ToStatus());
     result.spreads.push_back(static_cast<double>(trace.total_activated));
     result.seed_counts.push_back(trace.NumSeeds());
     traces.push_back(std::move(trace));
@@ -150,13 +250,18 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request) {
 
 // Evaluates a one-shot (non-adaptive) seed set on the shared hidden
 // realizations; `select_seconds` / `num_samples` describe the selection.
+// Polls the scope per realization (a hidden-world sample + forward
+// simulation is the natural chunk here); callers discard the partial
+// result when the scope fired.
 SolveResult SeedMinEngine::EvaluateOneShot(const SolveRequest& request,
                                            const std::vector<NodeId>& seeds,
-                                           double select_seconds, size_t num_samples) {
+                                           double select_seconds, size_t num_samples,
+                                           const CancelScope& scope) {
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
   ForwardSimulator simulator(*graph_);
   for (size_t run = 0; run < request.realizations; ++run) {
+    if (scope.ShouldStop()) break;
     const Realization hidden = HiddenRealization(*graph_, request, run);
     const size_t spread = simulator.Spread(hidden, seeds);
     AdaptiveRunTrace trace;
@@ -174,30 +279,38 @@ SolveResult SeedMinEngine::EvaluateOneShot(const SolveRequest& request,
   return result;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(const SolveRequest& request) {
+StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(const SolveRequest& request,
+                                                     const CancelScope& scope) {
   Rng select_rng = StreamFor(request.seed, kAteucDomain, 0);
   AteucOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
+  options.cancel = &scope;
   WallTimer select_timer;
   const AteucResult selection =
       RunAteuc(*graph_, request.model, request.eta, options, select_rng);
+  ASM_RETURN_NOT_OK(scope.ToStatus());  // partial selection: discard
   SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
-                                       selection.num_samples);
+                                       selection.num_samples, scope);
+  ASM_RETURN_NOT_OK(scope.ToStatus());  // partial evaluation: discard
   result.algorithm_name = "ATEUC";
   return result;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(const SolveRequest& request) {
+StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(const SolveRequest& request,
+                                                         const CancelScope& scope) {
   Rng select_rng = StreamFor(request.seed, kBisectionDomain, 0);
   BisectionOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
+  options.cancel = &scope;
   WallTimer select_timer;
   const BisectionResult selection =
       RunBisectionSeedMin(*graph_, request.model, request.eta, options, select_rng);
+  ASM_RETURN_NOT_OK(scope.ToStatus());  // partial selection: discard
   SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
-                                       selection.num_samples);
+                                       selection.num_samples, scope);
+  ASM_RETURN_NOT_OK(scope.ToStatus());  // partial evaluation: discard
   result.algorithm_name = "Bisection";
   return result;
 }

@@ -1,20 +1,25 @@
 // SeedMinEngine — the one façade over every seed-minimization algorithm.
 //
-// A resident engine owns a DirectedGraph reference and one shared
-// ThreadPool, and serves uniform SolveRequests: validation at the API
-// boundary (Status::InvalidArgument instead of CHECK-crashes), selector
-// construction through AlgorithmRegistry, and the §6 evaluation protocol
-// (hidden realizations shared across algorithms for a given seed).
+// A resident engine owns a DirectedGraph reference, one shared ThreadPool,
+// and an admission-controlled serving core, and serves uniform
+// SolveRequests: validation at the API boundary (Status::InvalidArgument
+// instead of CHECK-crashes), selector construction through
+// AlgorithmRegistry, the §6 evaluation protocol (hidden realizations
+// shared across algorithms for a given seed), and per-request
+// deadlines/cancellation (Status::DeadlineExceeded / Status::Cancelled).
 //
 // Concurrency model: Solve runs on the caller's thread and fans sampling/
-// coverage work onto the shared pool; SubmitAsync drives the same Solve on
-// a detached std::async thread, so any number of requests can be in flight
-// while pool workers interleave their batches (per-batch TaskGroups keep
-// them isolated — see src/parallel/README.md). Every RNG stream serving a
-// request is derived from request.seed alone, so results are bit-identical
-// — in every field except the wall-clock timings (trace seconds,
-// aggregate mean_seconds), which measure the run that produced them —
-// whether a request runs solo, in SolveBatch, or interleaved with other
+// coverage work onto the shared pool. SubmitAsync admits the request into
+// a bounded queue (Options::max_queue_depth / max_inflight) served by a
+// small fixed pool of driver threads (Options::num_drivers) — never one
+// thread per request — so a burst beyond capacity is answered with
+// Status::ResourceExhausted (or blocks, with Options::block_when_full)
+// instead of spawning unbounded threads onto the shared pool. Every RNG
+// stream serving a request is derived from request.seed alone, so
+// *completed* results are bit-identical — in every field except the
+// wall-clock timings (trace seconds, aggregate mean_seconds), which
+// measure the run that produced them — whether a request runs solo, in
+// SolveBatch, queued behind other requests, or interleaved with other
 // clients, at any pool size != 1 (pool size 1 uses the sequential
 // reference sampling path, which is deterministic too but follows the
 // paper's in-place stream protocol). See src/api/README.md.
@@ -23,64 +28,120 @@
 
 #include <future>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
+#include "api/admission_queue.h"
 #include "api/request.h"
 #include "graph/graph.h"
 #include "parallel/thread_pool.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace asti {
 
-/// Resident query engine over one graph and one worker pool.
+/// Resident query engine over one graph, one worker pool, and one
+/// admission queue.
 class SeedMinEngine {
  public:
   struct Options {
     /// Shared sampling/coverage workers for all requests: 1 = sequential
     /// reference path (no pool), 0 = one per hardware thread, k = k workers.
     size_t num_threads = 1;
+    /// Driver threads executing admitted requests (the async serving
+    /// concurrency): 0 = one per hardware thread, k = exactly k drivers.
+    /// Drivers are spawned lazily on the first SubmitAsync/SolveBatch and
+    /// block on the shared pool's TaskGroups, never run on pool workers.
+    size_t num_drivers = 4;
+    /// Waiting-room slots beyond the executing drivers: admission capacity
+    /// is num_drivers + max_queue_depth (unless max_inflight overrides).
+    /// A burst of capacity + k submissions yields exactly k rejections.
+    size_t max_queue_depth = 64;
+    /// Hard cap on admitted (queued + executing) requests; 0 derives it as
+    /// num_drivers + max_queue_depth.
+    size_t max_inflight = 0;
+    /// Admission policy when the queue is full: false = SubmitAsync
+    /// resolves to Status::ResourceExhausted immediately (backpressure the
+    /// client can see), true = SubmitAsync blocks the calling thread until
+    /// a slot frees. SolveBatch always blocks (a synchronous batch caller
+    /// *is* the backpressure), so batches larger than capacity still
+    /// complete.
+    bool block_when_full = false;
   };
 
   /// The graph must outlive the engine.
   explicit SeedMinEngine(const DirectedGraph& graph) : SeedMinEngine(graph, Options{}) {}
   SeedMinEngine(const DirectedGraph& graph, Options options);
 
+  /// Destruction with requests still in the system: requests a driver is
+  /// already executing DRAIN (run to completion, futures resolve normally);
+  /// requests still waiting in the queue ABORT (futures resolve to
+  /// Status::Cancelled without executing). Blocked producers are woken and
+  /// rejected. Callers must not race new submissions against destruction.
+  ~SeedMinEngine();
+
   const DirectedGraph& graph() const { return *graph_; }
 
   /// The shared pool, or nullptr in sequential mode.
   ThreadPool* pool() { return pool_.get(); }
 
-  /// Checks every request field against the graph; OK iff Solve would run.
+  /// Admission counters (admitted / rejected / completed since
+  /// construction) — the serving front's observability hook.
+  AdmissionQueue::Stats admission_stats() const { return queue_->stats(); }
+
+  /// Checks every request field against the graph; OK iff Solve would run
+  /// (deadline/cancellation state is not consulted — a valid request may
+  /// still come back Cancelled or DeadlineExceeded).
   Status Validate(const SolveRequest& request) const;
 
-  /// Serves one request synchronously on the caller's thread.
+  /// Serves one request synchronously on the caller's thread, bypassing
+  /// admission (the caller's thread is the concurrency bound). Honors
+  /// request.deadline and request.cancel.
   StatusOr<SolveResult> Solve(const SolveRequest& request);
 
-  /// Serves one request on its own driver thread; sampling still fans out
-  /// to the shared pool. The future carries the same StatusOr Solve would
-  /// return (invalid requests resolve to InvalidArgument, never crash).
-  /// The engine (and its graph) must outlive every outstanding future:
-  /// gather all futures before destroying the engine — destroying it with
-  /// a request in flight is a use-after-free.
+  /// Admits one request into the bounded queue; a driver thread executes
+  /// it (sampling still fans out to the shared pool). The future resolves
+  /// to the same StatusOr Solve would return, or to ResourceExhausted when
+  /// admission is full (never blocks unless Options::block_when_full), or
+  /// to Cancelled when the engine is destroyed before execution starts.
+  /// Invalid requests and already-expired deadlines resolve immediately
+  /// without consuming admission capacity. The engine (and its graph) must
+  /// outlive every outstanding future.
   std::future<StatusOr<SolveResult>> SubmitAsync(SolveRequest request);
 
-  /// Serves a batch concurrently (one SubmitAsync per request) and gathers
-  /// the results in request order. result[i] is bit-identical to
+  /// Serves a batch through the admission queue with *blocking* admission
+  /// (never rejects; the calling thread waits for slots) and gathers the
+  /// results in request order. result[i] is bit-identical to
   /// Solve(requests[i]) run solo.
   std::vector<StatusOr<SolveResult>> SolveBatch(std::span<const SolveRequest> requests);
 
  private:
-  StatusOr<SolveResult> RunAdaptive(const SolveRequest& request);
-  StatusOr<SolveResult> RunAteucRequest(const SolveRequest& request);
-  StatusOr<SolveResult> RunBisectionRequest(const SolveRequest& request);
+  struct PendingRequest;
+
+  /// Spawns the driver threads on first use.
+  void EnsureDrivers();
+  void DriverLoop();
+  std::future<StatusOr<SolveResult>> Submit(SolveRequest request,
+                                            AdmissionQueue::AdmitPolicy policy);
+
+  StatusOr<SolveResult> RunAdaptive(const SolveRequest& request,
+                                    const CancelScope& scope);
+  StatusOr<SolveResult> RunAteucRequest(const SolveRequest& request,
+                                        const CancelScope& scope);
+  StatusOr<SolveResult> RunBisectionRequest(const SolveRequest& request,
+                                            const CancelScope& scope);
   SolveResult EvaluateOneShot(const SolveRequest& request,
                               const std::vector<NodeId>& seeds, double select_seconds,
-                              size_t num_samples);
+                              size_t num_samples, const CancelScope& scope);
 
   const DirectedGraph* graph_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // engaged when num_threads != 1
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::once_flag drivers_once_;
+  std::vector<std::thread> drivers_;
 };
 
 }  // namespace asti

@@ -13,7 +13,7 @@ AdaptIm::AdaptIm(const DirectedGraph& graph, DiffusionModel model, AdaptImOption
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads, options.pool) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -49,6 +49,7 @@ SelectionResult AdaptIm::SelectBatch(const ResidualView& view, Rng& rng) {
     }
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
+      if (i % 64 == 0 && Fired(options_.cancel)) return;
       sampler_.Generate(*view.inactive_nodes, view.active, collection_, rng);
     }
   };
@@ -56,6 +57,7 @@ SelectionResult AdaptIm::SelectBatch(const ResidualView& view, Rng& rng) {
 
   SelectionResult result;
   for (size_t t = 1; t <= max_iterations; ++t) {
+    if (Fired(options_.cancel)) return SelectionResult{};  // empty seeds = cancelled round
     const NodeId v_star = ArgMaxCoverage(collection_, engine_.pool());
     const double coverage = static_cast<double>(collection_.Coverage(v_star));
     const double lower = CoverageLowerBound(coverage, a1);

@@ -30,6 +30,8 @@ struct AdaptImOptions {
   size_t num_threads = 1;
   /// Shared external pool; semantics as TrimOptions::pool.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition; semantics as TrimOptions::cancel.
+  const CancelScope* cancel = nullptr;
 };
 
 /// Untruncated-marginal-spread round selector.

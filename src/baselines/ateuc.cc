@@ -27,7 +27,7 @@ struct GreedyCurve {
 };
 
 GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap,
-                                ThreadPool* pool) {
+                                ThreadPool* pool, const CancelScope* cancel) {
   const size_t num_sets = collection.NumSets();
   const InvertedIndex index = BuildInvertedIndex(collection, pool);
 
@@ -36,6 +36,7 @@ GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap,
   GreedyCurve curve;
   uint32_t covered_count = 0;
   while (curve.picks.size() < cap && covered_count < num_sets) {
+    if (Fired(cancel)) break;
     const NodeId best = ArgMaxScore(gain, nullptr, nullptr, pool);
     if (best == kInvalidNode || gain[best] == 0) break;  // nothing left to cover
     curve.picks.push_back(best);
@@ -65,7 +66,8 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
 
   RrSampler sampler(graph, model);
   RrCollection collection(n);
-  ParallelEngine engine(graph, model, options.num_threads, options.pool);
+  ParallelEngine engine(graph, model, options.num_threads, options.pool,
+                        options.cancel);
   const double n_d = static_cast<double>(n);
   // Failure budget per bound evaluation; the union bound over greedy
   // prefixes and doubling iterations follows Han et al.'s recipe.
@@ -76,19 +78,27 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
   size_t target_samples = options.initial_samples;
   size_t previous_s_u = 0;
   for (size_t round = 0; round <= options.max_doublings; ++round) {
+    // A fired scope short-circuits the doubling ladder: return the best
+    // candidate so far (possibly no seeds) and let the caller discard it.
+    if (Fired(options.cancel)) return result;
     if (ParallelRrSampler* parallel = engine.get()) {
       parallel->GenerateBatch(all_nodes, nullptr, target_samples - collection.NumSets(),
                               collection, rng);
+      if (Fired(options.cancel)) return result;  // batch aborted at a stride boundary
     } else {
       collection.Reserve(target_samples - collection.NumSets());
+      size_t generated = 0;
       while (collection.NumSets() < target_samples) {
+        if (generated++ % 64 == 0 && Fired(options.cancel)) return result;
         sampler.Generate(all_nodes, nullptr, collection, rng);
       }
     }
     const double theta = static_cast<double>(collection.NumSets());
     // Greedy can never need more than η picks: each pick either covers a
     // new set or coverage is exhausted.
-    const GreedyCurve curve = GreedyCoverageCurve(collection, eta, engine.pool());
+    const GreedyCurve curve =
+        GreedyCoverageCurve(collection, eta, engine.pool(), options.cancel);
+    if (Fired(options.cancel)) return result;  // curve truncated mid-pick; bounds unusable
 
     // S_u: first prefix whose spread estimate reaches η. Following the
     // empirical behaviour the ASTI paper reports for ATEUC (E[I(S)] ≈ η,

@@ -28,6 +28,7 @@
 
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace asti {
@@ -49,6 +50,11 @@ struct AteucOptions {
   size_t num_threads = 1;
   /// Shared external pool; semantics as TrimOptions::pool.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition; polled per doubling round, generation
+  /// stride, and greedy pick. A fired scope makes RunAteuc return its
+  /// partial result promptly — callers observing the scope must discard
+  /// it (SeedMinEngine returns Cancelled/DeadlineExceeded instead).
+  const CancelScope* cancel = nullptr;
 };
 
 /// Result of the one-shot (non-adaptive) selection.

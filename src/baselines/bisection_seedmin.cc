@@ -24,17 +24,21 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   // k, so a single greedy pass would suffice — but we keep the literal
   // bisection protocol, whose cost profile is what this baseline is for).
   RrCollection collection(n);
-  ParallelEngine engine(graph, model, options.num_threads, options.pool);
+  ParallelEngine engine(graph, model, options.num_threads, options.pool,
+                        options.cancel);
   BisectionResult result;
   if (ParallelRrSampler* parallel = engine.get()) {
     parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);
   } else {
     RrSampler sampler(graph, model);
     collection.Reserve(options.samples);
+    size_t generated = 0;
     while (collection.NumSets() < options.samples) {
+      if (generated++ % 64 == 0 && Fired(options.cancel)) break;
       sampler.Generate(all_nodes, nullptr, collection, rng);
     }
   }
+  if (Fired(options.cancel) || collection.NumSets() == 0) return result;  // doomed; discard
   result.num_samples = collection.NumSets();
   const double theta = static_cast<double>(collection.NumSets());
   const double target = options.target_slack * static_cast<double>(eta);
@@ -42,17 +46,20 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   auto spread_of_k = [&](NodeId k) {
     ++result.im_evaluations;
     const MaxCoverageResult greedy =
-        GreedyMaxCoverage(collection, k, nullptr, engine.pool());
+        GreedyMaxCoverage(collection, k, nullptr, engine.pool(), options.cancel);
     return static_cast<double>(n) * static_cast<double>(greedy.covered_sets) / theta;
   };
 
-  // Exponential search for a feasible upper bound, then bisection.
+  // Exponential search for a feasible upper bound, then bisection. A fired
+  // scope aborts between IM evaluations (each one is a full greedy pass).
   NodeId high = 1;
   while (high < n && spread_of_k(high) < target) {
+    if (Fired(options.cancel)) return result;
     high = std::min<NodeId>(n, high * 2);
   }
   NodeId low = high > 1 ? high / 2 : 1;
   while (low < high) {
+    if (Fired(options.cancel)) return result;
     const NodeId mid = low + (high - low) / 2;
     if (spread_of_k(mid) >= target) {
       high = mid;
@@ -60,9 +67,10 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
       low = mid + 1;
     }
   }
+  if (Fired(options.cancel)) return result;
 
   const MaxCoverageResult final_greedy =
-      GreedyMaxCoverage(collection, high, nullptr, engine.pool());
+      GreedyMaxCoverage(collection, high, nullptr, engine.pool(), options.cancel);
   result.seeds = final_greedy.selected;
   result.estimated_spread =
       static_cast<double>(n) * static_cast<double>(final_greedy.covered_sets) / theta;

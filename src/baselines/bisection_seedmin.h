@@ -16,6 +16,7 @@
 
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace asti {
@@ -31,6 +32,10 @@ struct BisectionOptions {
   size_t num_threads = 1;
   /// Shared external pool; semantics as TrimOptions::pool.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition; polled per IM evaluation, generation
+  /// stride, and greedy pick. A fired scope returns a partial result the
+  /// caller must discard; semantics as AteucOptions::cancel.
+  const CancelScope* cancel = nullptr;
 };
 
 /// Result of the bisection run.

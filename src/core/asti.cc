@@ -15,13 +15,14 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 AdaptiveRunTrace RunAdaptivePolicy(AdaptiveWorld& world, RoundSelector& selector,
-                                   Rng& rng) {
+                                   Rng& rng, const CancelScope* cancel) {
   ASM_CHECK(!world.TargetReached()) << "world already reached its target";
   const auto run_start = std::chrono::steady_clock::now();
 
   AdaptiveRunTrace trace;
   trace.eta = world.eta();
   while (!world.TargetReached()) {
+    if (Fired(cancel)) break;
     const auto round_start = std::chrono::steady_clock::now();
     RoundRecord record;
     record.round = trace.rounds.size() + 1;
@@ -33,7 +34,12 @@ AdaptiveRunTrace RunAdaptivePolicy(AdaptiveWorld& world, RoundSelector& selector
     view.shortfall = world.Shortfall();
 
     SelectionResult selection = selector.SelectBatch(view, rng);
-    ASM_CHECK(!selection.seeds.empty()) << selector.Name() << " returned no seeds";
+    if (selection.seeds.empty()) {
+      // Only a fired stop condition may abort a round without seeds; an
+      // uncancelled selector returning nothing is still a hard bug.
+      ASM_CHECK(Fired(cancel)) << selector.Name() << " returned no seeds";
+      break;
+    }
     for (NodeId seed : selection.seeds) {
       ASM_CHECK(seed < world.graph().NumNodes());
       ASM_CHECK(!world.IsActive(seed))

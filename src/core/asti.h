@@ -13,6 +13,7 @@
 #include "core/selector.h"
 #include "core/trace.h"
 #include "diffusion/world.h"
+#include "util/cancellation.h"
 
 namespace asti {
 
@@ -22,7 +23,14 @@ namespace asti {
 /// Termination: every round seeds at least one inactive node, which
 /// activates itself, so the loop finishes within η rounds (⌈η/b⌉ for
 /// batched selectors).
+///
+/// A non-null `cancel` is polled at every round boundary, and a selector
+/// sharing the same scope may abort mid-round (signalled by returning no
+/// seeds — only legal when the scope has fired). Either way the loop
+/// stops early with trace.target_reached == false and the caller decides
+/// what to do with the partial trace (SeedMinEngine discards it and
+/// returns Status::Cancelled / DeadlineExceeded).
 AdaptiveRunTrace RunAdaptivePolicy(AdaptiveWorld& world, RoundSelector& selector,
-                                   Rng& rng);
+                                   Rng& rng, const CancelScope* cancel = nullptr);
 
 }  // namespace asti

@@ -42,7 +42,7 @@ Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads, options.pool) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -63,6 +63,9 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
     }
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
+      // Sequential analogue of the parallel sampler's stride poll; the
+      // run is unwinding, so the truncated stream consumption is moot.
+      if (i % 64 == 0 && Fired(options_.cancel)) return;
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);
     }
@@ -71,6 +74,7 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
 
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
+    if (Fired(options_.cancel)) return SelectionResult{};  // empty seeds = cancelled round
     const NodeId v_star = ArgMaxCoverage(collection_, engine_.pool());
     const double coverage = static_cast<double>(collection_.Coverage(v_star));
     const double lower = CoverageLowerBound(coverage, schedule.a1);

@@ -34,6 +34,12 @@ struct TrimOptions {
   /// Several selectors may share one pool (per-batch TaskGroups isolate
   /// them) — the SeedMinEngine serving mode. Must outlive the selector.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition (not owned; must outlive the selector).
+  /// Polled at generation-stride and certify-iteration boundaries; once it
+  /// fires, SelectBatch returns an empty (to-be-discarded) result promptly
+  /// instead of finishing the doubling schedule. Completed selections are
+  /// bit-identical with or without a scope attached.
+  const CancelScope* cancel = nullptr;
 };
 
 /// Single-seed truncated influence maximizer.

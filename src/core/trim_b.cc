@@ -49,7 +49,7 @@ TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions opti
       sampler_(graph, model),
       collection_(graph.NumNodes()),
       name_("ASTI-" + std::to_string(options.batch_size)),
-      engine_(graph, model, options.num_threads, options.pool) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
   ASM_CHECK(options_.batch_size >= 1);
 }
@@ -72,6 +72,7 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
     }
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
+      if (i % 64 == 0 && Fired(options_.cancel)) return;
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);
     }
@@ -80,11 +81,13 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
 
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
+    if (Fired(options_.cancel)) return SelectionResult{};  // empty seeds = cancelled round
     // CELF lazy greedy: identical selection to the eager version (see
     // lazy_greedy_test), without the O(b·n) argmax rescans. Shares the
     // sampling pool; results are thread-count-invariant.
-    const MaxCoverageResult greedy =
-        LazyGreedyMaxCoverage(collection_, batch, view.inactive_nodes, engine_.pool());
+    const MaxCoverageResult greedy = LazyGreedyMaxCoverage(
+        collection_, batch, view.inactive_nodes, engine_.pool(), options_.cancel);
+    if (Fired(options_.cancel)) return SelectionResult{};  // coverage pass aborted mid-pick
     const double coverage = static_cast<double>(greedy.covered_sets);
     const double lower = CoverageLowerBound(coverage, schedule.a1);
     const double upper =

@@ -29,6 +29,9 @@ struct TrimBOptions {
   size_t num_threads = 1;
   /// Shared external pool; semantics as TrimOptions::pool.
   ThreadPool* pool = nullptr;
+  /// Cooperative stop condition; semantics as TrimOptions::cancel (also
+  /// polled per greedy-coverage pick inside the certify step).
+  const CancelScope* cancel = nullptr;
 };
 
 /// Batched truncated influence maximizer.

@@ -32,7 +32,7 @@ struct HeapEntry {
 
 MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool, const CancelScope* cancel) {
   ASM_CHECK(budget >= 1);
   const NodeId n = collection.num_nodes();
   MaxCoverageResult result;
@@ -86,6 +86,9 @@ MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId b
   size_t drain = base_drain;
   std::vector<HeapEntry> batch;
   while (result.selected.size() < picks && !heap.empty()) {
+    // Polled per heap round (a pick or a stale-drain batch), the CELF
+    // analogue of the eager solver's per-pick check.
+    if (Fired(cancel)) return result;
     const HeapEntry top = heap.top();
     if (top.round_evaluated == round) {
       heap.pop();

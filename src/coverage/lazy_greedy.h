@@ -22,9 +22,11 @@
 namespace asti {
 
 /// Lazy (CELF) variant of GreedyMaxCoverage; identical result contract
-/// (including candidate deduplication and thread-count invariance).
+/// (including candidate deduplication, thread-count invariance, and the
+/// per-pick `cancel` poll returning a to-be-discarded partial result).
 MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates = nullptr,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        const CancelScope* cancel = nullptr);
 
 }  // namespace asti

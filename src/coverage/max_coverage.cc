@@ -73,7 +73,7 @@ NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool) {
 
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool, const CancelScope* cancel) {
   ASM_CHECK(budget >= 1);
   const NodeId n = collection.num_nodes();
   const size_t num_sets = collection.NumSets();
@@ -92,6 +92,7 @@ MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budge
       domain == nullptr ? static_cast<size_t>(n) : domain->size();
   const size_t picks = std::min<size_t>(budget, pool_size);
   for (size_t pick = 0; pick < picks; ++pick) {
+    if (Fired(cancel)) return result;
     const NodeId best = ArgMaxScore(gain, domain, &taken, pool);
     ASM_CHECK(best != kInvalidNode);
     taken.Set(best);

@@ -18,6 +18,7 @@
 #include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 #include "util/bit_vector.h"
+#include "util/cancellation.h"
 
 namespace asti {
 
@@ -34,10 +35,14 @@ struct MaxCoverageResult {
 /// TRIM-B passes the residual node list so zero-gain filler picks can never
 /// land on an already-active node. Duplicate candidate entries are
 /// deduplicated (a node is selected at most once; the pool size counts
-/// unique nodes). `pool` parallelizes the per-pick argmax scans.
+/// unique nodes). `pool` parallelizes the per-pick argmax scans. A
+/// non-null `cancel` is polled before every pick: once it fires, the
+/// partial result so far is returned (callers observing the scope must
+/// discard it — completed runs are unaffected by the polls).
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates = nullptr,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    const CancelScope* cancel = nullptr);
 
 /// ρ_b = 1 − (1 − 1/b)^b, the greedy guarantee used throughout TRIM-B.
 double GreedyCoverageRatio(NodeId budget);

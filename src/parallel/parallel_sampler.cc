@@ -3,8 +3,8 @@
 namespace asti {
 
 ParallelRrSampler::ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model,
-                                     ThreadPool& pool)
-    : pool_(&pool) {
+                                     ThreadPool& pool, const CancelScope* cancel)
+    : pool_(&pool), cancel_(cancel) {
   workers_.reserve(pool.NumThreads());
   for (size_t i = 0; i < pool.NumThreads(); ++i) {
     workers_.push_back(std::make_unique<Worker>(graph, model));
@@ -19,9 +19,16 @@ void ParallelRrSampler::RunBatch(size_t count, RrCollection& out, Rng& rng,
   // the caller's consumption stays independent of count and thread count.
   const Rng batch_base = rng.Split();
   for (auto& worker : workers_) worker->buffer.Clear();
+  // Cancellation polls every kCancelStride sets (and at chunk entry): one
+  // atomic load plus a clock read when a deadline is set, amortized over
+  // ~µs-scale traversals. A fired scope makes each chunk stop generating;
+  // the partial staging buffers still merge (structurally valid sets), and
+  // the caller unwinds past the doomed collection.
+  constexpr size_t kCancelStride = 64;
   pool_->ParallelFor(count, [&](size_t chunk, size_t begin, size_t end) {
     Worker& worker = *workers_[chunk];
     for (size_t i = begin; i < end; ++i) {
+      if ((i - begin) % kCancelStride == 0 && Fired(cancel_)) return;
       Rng set_rng = batch_base.Split(i);
       generate_one(worker, set_rng);
     }

@@ -27,6 +27,7 @@
 #include "sampling/rr_collection.h"
 #include "sampling/rr_set.h"
 #include "util/bit_vector.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 
 namespace asti {
@@ -36,7 +37,13 @@ class ParallelRrSampler {
  public:
   /// The graph and pool must outlive the sampler. Worker-local scratch
   /// (visited sets, staging buffers) is allocated once per pool thread.
-  ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model, ThreadPool& pool);
+  /// A non-null `cancel` is polled at generation-stride boundaries inside
+  /// every batch: once it fires, workers stop traversing and the batch
+  /// merges whatever was staged (the caller unwinds and discards it).
+  /// Batches that complete without the scope firing are bit-identical to
+  /// an uncancellable run.
+  ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model, ThreadPool& pool,
+                    const CancelScope* cancel = nullptr);
 
   /// Cumulative traversal cost across all batches since construction /
   /// the last ResetCost(); exact (merged from workers after every batch).
@@ -74,6 +81,7 @@ class ParallelRrSampler {
   void MergeInto(RrCollection& out);
 
   ThreadPool* pool_;
+  const CancelScope* cancel_;  // not owned; may be null
   std::vector<std::unique_ptr<Worker>> workers_;
   SamplerCost cost_;
 };
@@ -88,14 +96,16 @@ class ParallelRrSampler {
 /// multiplexed on one resident pool, isolated by per-batch TaskGroups).
 class ParallelEngine {
  public:
+  /// `cancel` (optional, not owned) is forwarded to the batch sampler so
+  /// in-flight generation aborts at stride boundaries once it fires.
   ParallelEngine(const DirectedGraph& graph, DiffusionModel model, size_t num_threads,
-                 ThreadPool* shared_pool = nullptr)
+                 ThreadPool* shared_pool = nullptr, const CancelScope* cancel = nullptr)
       : shared_pool_(shared_pool) {
     if (shared_pool_ != nullptr) {
-      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *shared_pool_);
+      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *shared_pool_, cancel);
     } else if (num_threads != 1) {
       pool_ = std::make_unique<ThreadPool>(num_threads);
-      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *pool_);
+      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *pool_, cancel);
     }
   }
 

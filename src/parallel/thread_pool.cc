@@ -35,12 +35,17 @@ void TaskGroup::Finish() {
   if (--pending_ == 0) done_.notify_all();
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+size_t ResolveThreadCount(size_t requested) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
   }
-  ASM_CHECK(num_threads <= kMaxThreads)
-      << "ThreadPool: implausible num_threads " << num_threads;
+  ASM_CHECK(requested <= kMaxThreads)
+      << "implausible thread count " << requested;
+  return requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = ResolveThreadCount(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

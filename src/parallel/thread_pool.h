@@ -27,6 +27,12 @@ namespace asti {
 
 class ThreadPool;
 
+/// Resolves a worker/driver-count knob: 0 = one per hardware thread
+/// (min 1), k = exactly k. ASM_CHECKs implausible counts — the shared
+/// guard for ThreadPool workers and the SeedMinEngine driver pool, and
+/// the shield against size_t wraparound from negative CLI flags.
+size_t ResolveThreadCount(size_t requested);
+
 /// Completion tracker for one batch of tasks. Several groups can be in
 /// flight on the same ThreadPool; Wait() blocks only on tasks submitted
 /// against THIS group, so independent callers sharing a pool never wait on

@@ -1,0 +1,109 @@
+// Cooperative cancellation and deadlines for long-running requests.
+//
+// Sampling and coverage work cannot be interrupted preemptively without
+// poisoning shared state (a pool worker holds staging buffers mid-merge),
+// so cancellation is cooperative: the serving layer polls a cheap stop
+// condition at natural pause points — RR-generation chunk boundaries,
+// greedy-coverage picks, doubling iterations, adaptive rounds — and
+// unwinds without recording partial results. Two pieces:
+//
+//   * CancelToken — the client-facing handle. One atomic flag; a client
+//     (or the engine's admission layer) flips it from any thread, every
+//     worker serving the request observes it on its next poll. A token
+//     may be shared by several requests (cancel a whole session at once).
+//   * CancelScope — the per-execution stop condition: an optional token
+//     plus an optional absolute steady-clock deadline, combined into one
+//     ShouldStop() poll and one ToStatus() verdict (Cancelled wins over
+//     DeadlineExceeded when both hold; a client cancel is an explicit act,
+//     the deadline is a default).
+//
+// Polling cost is one relaxed atomic load, plus one steady_clock read when
+// a deadline is set — cheap enough for every chunk/pick boundary. A
+// completed request's result is bit-identical with or without a scope
+// attached: the polls never touch RNG streams, work partitioning, or
+// merge order (determinism contract, src/parallel/README.md).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace asti {
+
+/// Client-side cancellation handle. Thread-safe; must outlive every
+/// request it is attached to (the engine polls it until the request's
+/// future resolves).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; callable from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool IsCancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The stop condition one request execution polls: client token and/or
+/// absolute deadline. Value type, safe to poll concurrently from many
+/// workers; the referenced token (if any) is not owned.
+class CancelScope {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sentinel for "no deadline".
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  CancelScope() = default;
+  CancelScope(const CancelToken* token, Clock::time_point deadline)
+      : token_(token), deadline_(deadline) {}
+
+  bool HasDeadline() const { return deadline_ != kNoDeadline; }
+
+  /// True once the request should unwind: token cancelled or deadline
+  /// passed. Monotone — once true, stays true.
+  bool ShouldStop() const {
+    if (token_ != nullptr && token_->IsCancelled()) return true;
+    return HasDeadline() && Clock::now() >= deadline_;
+  }
+
+  /// The verdict for a stopped request: Cancelled if the token fired
+  /// (explicit client action wins), DeadlineExceeded if only the deadline
+  /// passed, OK when ShouldStop() is false.
+  Status ToStatus() const {
+    if (token_ != nullptr && token_->IsCancelled()) {
+      return Status::Cancelled("request cancelled by client");
+    }
+    if (HasDeadline() && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const CancelToken* token_ = nullptr;  // not owned
+  Clock::time_point deadline_ = kNoDeadline;
+};
+
+/// Null-tolerant poll — the one spelling every optional-scope call site
+/// (selector loops, samplers, coverage passes) uses, so a future change
+/// to the poll itself happens in one place.
+inline bool Fired(const CancelScope* scope) {
+  return scope != nullptr && scope->ShouldStop();
+}
+
+/// Deadline `seconds` from now (negative = already expired); the helper
+/// request builders use.
+inline CancelScope::Clock::time_point DeadlineAfter(double seconds) {
+  return CancelScope::Clock::now() +
+         std::chrono::duration_cast<CancelScope::Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace asti

@@ -21,6 +21,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("OK", "IOError"...).
@@ -51,6 +54,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,384 @@
+// Admission-control edge cases for the SeedMinEngine serving core: the
+// bounded queue's accept-to-complete accounting, burst rejection pinned to
+// exactly k ResourceExhausted answers, deadlines (expired at submit,
+// expired while queued), cooperative cancellation mid-sampling and
+// mid-coverage, engine destruction with queued requests (abort-queued /
+// drain-executing), and blocking admission. The determinism pins
+// (queued/interleaved == solo at every pool size) live in engine_test.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "api/admission_queue.h"
+#include "api/seedmin_engine.h"
+#include "coverage/lazy_greedy.h"
+#include "coverage/max_coverage.h"
+#include "graph/generators.h"
+#include "parallel/parallel_sampler.h"
+#include "parallel/thread_pool.h"
+#include "sampling/rr_collection.h"
+#include "util/cancellation.h"
+
+namespace asti {
+namespace {
+
+using AdmitPolicy = AdmissionQueue::AdmitPolicy;
+using AdmitResult = AdmissionQueue::AdmitResult;
+
+// --- AdmissionQueue unit behaviour -----------------------------------------
+
+TEST(AdmissionQueueTest, CountsAdmitToCompleteNotAdmitToDequeue) {
+  AdmissionQueue queue(2);
+  int runs = 0;
+  AdmissionTask task = [&runs](bool aborted) {
+    if (!aborted) ++runs;
+  };
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kRejected);
+
+  // Dequeuing alone frees no capacity — only Complete() does. This is the
+  // property that makes burst rejection counts exact.
+  AdmissionTask got;
+  ASSERT_TRUE(queue.Pop(got));
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kRejected);
+  got(/*aborted=*/false);
+  queue.Complete();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.InFlight(), 2u);
+
+  const std::vector<AdmissionTask> orphans = queue.Close();
+  EXPECT_EQ(orphans.size(), 2u);  // the two never-popped items
+  EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kClosed);
+  AdmissionTask none;
+  EXPECT_FALSE(queue.Pop(none));
+
+  const AdmissionQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(AdmissionQueueTest, CloseWakesBlockedProducer) {
+  AdmissionQueue queue(1);
+  AdmissionTask noop = [](bool) {};
+  ASSERT_EQ(queue.Admit(noop, AdmitPolicy::kReject), AdmitResult::kAdmitted);
+  std::thread producer([&queue, &noop] {
+    EXPECT_EQ(queue.Admit(noop, AdmitPolicy::kBlock), AdmitResult::kClosed);
+  });
+  // Give the producer a moment to park on the full queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Close();
+  producer.join();
+}
+
+// --- Engine-level fixtures --------------------------------------------------
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng small_rng(301);
+    auto small = BuildWeightedGraph(MakeBarabasiAlbert(220, 2, small_rng),
+                                    WeightScheme::kWeightedCascade);
+    ASSERT_TRUE(small.ok());
+    small_ = std::make_unique<DirectedGraph>(std::move(small).value());
+
+    Rng heavy_rng(302);
+    auto heavy = BuildWeightedGraph(MakeChungLu(3000, 18000, 2.1, heavy_rng),
+                                    WeightScheme::kWeightedCascade);
+    ASSERT_TRUE(heavy.ok());
+    heavy_ = std::make_unique<DirectedGraph>(std::move(heavy).value());
+  }
+
+  // Finishes in milliseconds — the load for throttling/ordering tests.
+  SolveRequest SmallRequest(uint64_t seed) const {
+    SolveRequest request;
+    request.eta = 25;
+    request.seed = seed;
+    return request;
+  }
+
+  // Takes many seconds solo (n=3000, eta=n/2, 50 hidden worlds, tight ε):
+  // the burst/cancellation tests rely on these NOT completing in the
+  // microseconds a submission loop takes, and on cancellation unwinding
+  // them long before they would finish.
+  SolveRequest HeavyRequest(uint64_t seed, const CancelToken* cancel) const {
+    SolveRequest request;
+    request.eta = static_cast<NodeId>(heavy_->NumNodes() / 2);
+    request.epsilon = 0.1;
+    request.realizations = 50;
+    request.seed = seed;
+    request.cancel = cancel;
+    return request;
+  }
+
+  std::unique_ptr<DirectedGraph> small_;
+  std::unique_ptr<DirectedGraph> heavy_;
+};
+
+// The acceptance pin: with D drivers and Q queue slots, a burst of
+// D + Q + k submissions yields exactly k ResourceExhausted rejections —
+// and they are the LAST k, because admission is decided synchronously in
+// submission order and a slot frees only on completion (seconds away for
+// these requests), never on dequeue.
+TEST_F(AdmissionTest, BurstBeyondCapacityYieldsExactlyKRejections) {
+  constexpr size_t kDrivers = 2;
+  constexpr size_t kQueueDepth = 3;
+  constexpr size_t kOverflow = 4;
+  constexpr size_t kCapacity = kDrivers + kQueueDepth;
+
+  CancelToken cancel;
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  {
+    SeedMinEngine::Options options;
+    options.num_drivers = kDrivers;
+    options.max_queue_depth = kQueueDepth;
+    SeedMinEngine engine(*heavy_, options);
+    for (size_t i = 0; i < kCapacity + kOverflow; ++i) {
+      futures.push_back(engine.SubmitAsync(HeavyRequest(100 + i, &cancel)));
+    }
+    const AdmissionQueue::Stats stats = engine.admission_stats();
+    EXPECT_EQ(stats.admitted, kCapacity);
+    EXPECT_EQ(stats.rejected, kOverflow);
+
+    // Unwind the admitted requests so the test (and engine teardown)
+    // finishes promptly instead of solving 5 heavy instances.
+    cancel.Cancel();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const StatusOr<SolveResult> result = futures[i].get();
+      ASSERT_FALSE(result.ok()) << "request " << i;
+      if (i < kCapacity) {
+        EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << "request " << i;
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+            << "request " << i;
+      }
+    }
+  }
+}
+
+TEST_F(AdmissionTest, DeadlineExpiredAtSubmitResolvesWithoutExecuting) {
+  SeedMinEngine engine(*small_);
+  SolveRequest request = SmallRequest(7);
+  request.deadline = DeadlineAfter(-0.5);
+
+  const auto via_solve = engine.Solve(request);
+  ASSERT_FALSE(via_solve.ok());
+  EXPECT_EQ(via_solve.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto future = engine.SubmitAsync(request);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  const auto via_async = future.get();
+  ASSERT_FALSE(via_async.ok());
+  EXPECT_EQ(via_async.status().code(), StatusCode::kDeadlineExceeded);
+  // Dead-on-arrival requests never consume admission capacity.
+  EXPECT_EQ(engine.admission_stats().admitted, 0u);
+}
+
+TEST_F(AdmissionTest, PreCancelledTokenResolvesWithoutExecuting) {
+  SeedMinEngine engine(*small_);
+  CancelToken cancel;
+  cancel.Cancel();
+  SolveRequest request = SmallRequest(7);
+  request.cancel = &cancel;
+  auto future = engine.SubmitAsync(request);
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(engine.admission_stats().admitted, 0u);
+}
+
+// A request admitted with a live deadline that expires while it waits
+// behind a slow request comes back DeadlineExceeded without executing.
+TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
+  SeedMinEngine::Options options;
+  options.num_drivers = 1;  // one driver: the heavy request blocks the queue
+  SeedMinEngine engine(*heavy_, options);
+
+  CancelToken unblock;
+  auto blocker = engine.SubmitAsync(HeavyRequest(11, &unblock));
+  SolveRequest queued = SmallRequest(12);
+  queued.eta = 25;
+  // Wide margins so sanitizer/CI slowdown can't flip the outcome: the
+  // deadline must survive the µs-scale submit path (0.5 s of slack) yet
+  // be safely expired after the 1.2 s sleep.
+  queued.deadline = DeadlineAfter(0.5);
+  auto expired = engine.SubmitAsync(queued);
+  EXPECT_EQ(engine.admission_stats().admitted, 2u);  // live at submit time
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  unblock.Cancel();  // heavy request unwinds; driver reaches the queued one
+
+  const auto blocker_result = blocker.get();
+  ASSERT_FALSE(blocker_result.ok());
+  EXPECT_EQ(blocker_result.status().code(), StatusCode::kCancelled);
+  const auto expired_result = expired.get();
+  ASSERT_FALSE(expired_result.ok());
+  EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// Cooperative cancellation mid-run, on both sampling paths: sequential
+// (pool size 1, stride checks in the selector generate loops) and pooled
+// (chunk-boundary checks inside ParallelRrSampler).
+TEST_F(AdmissionTest, CancellationMidSamplingUnwindsPromptly) {
+  for (size_t threads : {size_t{1}, size_t{2}}) {
+    SeedMinEngine::Options options;
+    options.num_threads = threads;
+    options.num_drivers = 1;
+    SeedMinEngine engine(*heavy_, options);
+    CancelToken cancel;
+    auto future = engine.SubmitAsync(HeavyRequest(21, &cancel));
+    // Let the driver get well into sampling before pulling the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.Cancel();
+    const auto result = future.get();
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled) << "threads=" << threads;
+  }
+}
+
+// --- Mid-coverage and mid-generation cancellation, unit level ---------------
+
+RrCollection FromSets(NodeId n, const std::vector<std::vector<NodeId>>& sets) {
+  RrCollection collection(n);
+  for (const auto& set : sets) {
+    for (NodeId v : set) collection.PushNode(v);
+    collection.SealSet();
+  }
+  return collection;
+}
+
+TEST(CoverageCancellationTest, FiredScopeStopsGreedyBeforeAnyPick) {
+  const RrCollection collection = FromSets(4, {{0, 1}, {1, 2}, {1, 3}, {0}});
+  CancelToken cancel;
+  cancel.Cancel();
+  const CancelScope scope(&cancel, CancelScope::kNoDeadline);
+  const MaxCoverageResult eager =
+      GreedyMaxCoverage(collection, 3, nullptr, nullptr, &scope);
+  EXPECT_TRUE(eager.selected.empty());
+  EXPECT_EQ(eager.covered_sets, 0u);
+  const MaxCoverageResult lazy =
+      LazyGreedyMaxCoverage(collection, 3, nullptr, nullptr, &scope);
+  EXPECT_TRUE(lazy.selected.empty());
+  EXPECT_EQ(lazy.covered_sets, 0u);
+}
+
+TEST(CoverageCancellationTest, LiveScopeChangesNothing) {
+  const RrCollection collection = FromSets(4, {{0, 1}, {1, 2}, {1, 3}, {0}});
+  CancelToken cancel;
+  const CancelScope scope(&cancel, CancelScope::kNoDeadline);
+  const MaxCoverageResult with_scope =
+      GreedyMaxCoverage(collection, 2, nullptr, nullptr, &scope);
+  const MaxCoverageResult without = GreedyMaxCoverage(collection, 2);
+  EXPECT_EQ(with_scope.selected, without.selected);
+  EXPECT_EQ(with_scope.covered_sets, without.covered_sets);
+}
+
+TEST(SamplerCancellationTest, FiredScopeStopsBatchGeneration) {
+  Rng graph_rng(303);
+  auto graph = BuildWeightedGraph(MakeBarabasiAlbert(200, 2, graph_rng),
+                                  WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(graph.ok());
+  std::vector<NodeId> all_nodes(graph->NumNodes());
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+
+  CancelToken cancel;
+  cancel.Cancel();
+  const CancelScope scope(&cancel, CancelScope::kNoDeadline);
+  ThreadPool pool(2);
+  ParallelRrSampler sampler(*graph, DiffusionModel::kIndependentCascade, pool, &scope);
+  RrCollection collection(graph->NumNodes());
+  Rng rng(7);
+  sampler.GenerateBatch(all_nodes, nullptr, 10000, collection, rng);
+  // Every chunk observed the fired scope at its first stride boundary.
+  EXPECT_EQ(collection.NumSets(), 0u);
+}
+
+// --- Destruction and blocking admission ------------------------------------
+
+// Destroying an engine with requests still in the system: queued requests
+// abort (futures resolve Cancelled, never execute), the at-most-D already
+// picked up drain to completion. With one driver and five requests, at
+// least four must come back Cancelled.
+TEST_F(AdmissionTest, DestructionAbortsQueuedAndDrainsExecuting) {
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  {
+    SeedMinEngine::Options options;
+    options.num_drivers = 1;
+    options.max_queue_depth = 8;
+    SeedMinEngine engine(*small_, options);
+    for (size_t i = 0; i < 5; ++i) {
+      SolveRequest request = SmallRequest(40 + i);
+      request.eta = 60;
+      request.realizations = 40;  // ~hundreds of ms: outlives the submit loop
+      futures.push_back(engine.SubmitAsync(request));
+    }
+  }  // engine destroyed with (at least) four requests still queued
+
+  size_t completed = 0;
+  size_t aborted = 0;
+  for (auto& future : futures) {
+    const StatusOr<SolveResult> result = future.get();
+    if (result.ok()) {
+      ++completed;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+      ++aborted;
+    }
+  }
+  EXPECT_EQ(completed + aborted, 5u);
+  EXPECT_GE(aborted, 4u);  // one driver can have started at most one
+}
+
+TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
+  SeedMinEngine::Options options;
+  options.num_drivers = 2;
+  options.max_queue_depth = 1;  // capacity 3, well below the burst
+  options.block_when_full = true;
+  SeedMinEngine engine(*small_, options);
+
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  for (size_t i = 0; i < 8; ++i) {
+    futures.push_back(engine.SubmitAsync(SmallRequest(60 + i)));
+  }
+  for (auto& future : futures) {
+    const StatusOr<SolveResult> result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // A driver frees its slot (Complete) just AFTER resolving the promise,
+  // so completed can trail future.get() by an instant — poll briefly.
+  AdmissionQueue::Stats stats = engine.admission_stats();
+  for (int i = 0; i < 500 && stats.completed < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine.admission_stats();
+  }
+  EXPECT_EQ(stats.admitted, 8u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, 8u);
+}
+
+TEST_F(AdmissionTest, SolveBatchLargerThanCapacityCompletes) {
+  SeedMinEngine::Options options;
+  options.num_drivers = 1;
+  options.max_queue_depth = 1;  // capacity 2 vs a batch of 6
+  SeedMinEngine engine(*small_, options);
+
+  std::vector<SolveRequest> requests;
+  for (size_t i = 0; i < 6; ++i) requests.push_back(SmallRequest(80 + i));
+  const auto results = engine.SolveBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_EQ(engine.admission_stats().rejected, 0u);
+}
+
+}  // namespace
+}  // namespace asti

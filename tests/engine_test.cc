@@ -302,6 +302,42 @@ TEST_F(EngineTest, IndependentEnginesAndInterleavedClientsAgree) {
   }
 }
 
+// Admission-rework pin: requests served through the bounded queue and the
+// fixed driver pool — strictly serialized (one driver) or racing (three
+// drivers) over a deliberately tiny queue, so blocking admission really
+// engages — stay bit-identical to solo Solve runs at every pool size.
+TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
+  const std::vector<SolveRequest> requests = MixedRequests();
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> solo;
+    {
+      SeedMinEngine engine(*graph_, {threads});
+      for (const SolveRequest& request : requests) {
+        const auto result = engine.Solve(request);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        solo.push_back(Fingerprint(*result));
+      }
+    }
+    for (size_t drivers : {1u, 3u}) {
+      SeedMinEngine::Options options;
+      options.num_threads = threads;
+      options.num_drivers = drivers;
+      options.max_queue_depth = 2;  // capacity 3 or 5 < 6 requests
+      SeedMinEngine engine(*graph_, options);
+      const auto batch = engine.SolveBatch(requests);
+      ASSERT_EQ(batch.size(), requests.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(batch[i].ok()) << batch[i].status().ToString();
+        EXPECT_EQ(Fingerprint(*batch[i]), solo[i])
+            << "threads=" << threads << " drivers=" << drivers << " request=" << i;
+      }
+      const AdmissionQueue::Stats stats = engine.admission_stats();
+      EXPECT_EQ(stats.admitted, requests.size());
+      EXPECT_EQ(stats.rejected, 0u);  // SolveBatch throttles, never rejects
+    }
+  }
+}
+
 // The parallel sampling/coverage path is pool-size invariant, so engine
 // results agree across every pool size > 1.
 TEST_F(EngineTest, PoolSizesAboveOneAgree) {

@@ -136,7 +136,12 @@ TEST_P(BatchPropertyTest, BatchRunsAndReachesTarget) {
 INSTANTIATE_TEST_SUITE_P(Batches, BatchPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 8, 16),
                          [](const ::testing::TestParamInfo<NodeId>& info) {
-                           return "b" + std::to_string(info.param);
+                           // append() rather than operator+: GCC 12's
+                           // -Wrestrict false-positives on the char* +
+                           // to_string temporary under -O2 (PR 105651).
+                           std::string name = "b";
+                           name.append(std::to_string(info.param));
+                           return name;
                          });
 
 // --- mRR sampling invariants across residual states -------------------------
@@ -224,8 +229,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<NodeId>(10, 100, 10000, 1000000),
                        ::testing::Values<NodeId>(1, 2, 10, 5000)),
     [](const ::testing::TestParamInfo<std::tuple<NodeId, NodeId>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_eta" +
-             std::to_string(std::get<1>(info.param));
+      std::string name = "n";  // append(): see the Batches generator above
+      name.append(std::to_string(std::get<0>(info.param)));
+      name.append("_eta");
+      name.append(std::to_string(std::get<1>(info.param)));
+      return name;
     });
 
 }  // namespace

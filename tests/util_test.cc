@@ -1,4 +1,5 @@
-// Tests for src/util: Status/StatusOr, Rng, BitVector, EpochVisitedSet.
+// Tests for src/util: Status/StatusOr, cancellation primitives, Rng,
+// BitVector, EpochVisitedSet.
 
 #include <gtest/gtest.h>
 
@@ -6,6 +7,7 @@
 #include <set>
 
 #include "util/bit_vector.h"
+#include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -31,6 +33,56 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ServingCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+}
+
+// --- Cancellation primitives ------------------------------------------------
+
+TEST(CancellationTest, DefaultScopeNeverStops) {
+  CancelScope scope;
+  EXPECT_FALSE(scope.ShouldStop());
+  EXPECT_TRUE(scope.ToStatus().ok());
+}
+
+TEST(CancellationTest, TokenFiresScope) {
+  CancelToken token;
+  CancelScope scope(&token, CancelScope::kNoDeadline);
+  EXPECT_FALSE(scope.ShouldStop());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_TRUE(scope.ShouldStop());
+  EXPECT_EQ(scope.ToStatus().code(), StatusCode::kCancelled);
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(scope.ShouldStop());
+}
+
+TEST(CancellationTest, PastDeadlineFiresScope) {
+  CancelScope scope(nullptr, DeadlineAfter(-1.0));
+  EXPECT_TRUE(scope.HasDeadline());
+  EXPECT_TRUE(scope.ShouldStop());
+  EXPECT_EQ(scope.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, FutureDeadlineDoesNotStopYet) {
+  CancelScope scope(nullptr, DeadlineAfter(3600.0));
+  EXPECT_FALSE(scope.ShouldStop());
+  EXPECT_TRUE(scope.ToStatus().ok());
+}
+
+TEST(CancellationTest, CancelWinsOverExpiredDeadline) {
+  CancelToken token;
+  token.Cancel();
+  CancelScope scope(&token, DeadlineAfter(-1.0));
+  EXPECT_TRUE(scope.ShouldStop());
+  EXPECT_EQ(scope.ToStatus().code(), StatusCode::kCancelled);
 }
 
 TEST(StatusOrTest, HoldsValue) {
