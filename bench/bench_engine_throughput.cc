@@ -1,21 +1,29 @@
-// SeedMinEngine serving throughput: queries/s vs concurrent drivers, plus
-// an admission-saturation measurement.
+// SeedMinEngine serving throughput: queries/s vs concurrent drivers, an
+// admission-saturation measurement, and a multi-graph mixed-workload
+// phase over the GraphCatalog.
 //
 // Not a paper figure — measures the src/api/ serving front. One resident
-// engine (shared pool + admission queue) serves Q mixed-algorithm
-// SolveRequests at each requested driver concurrency: all requests are
-// submitted up front and the engine's fixed driver pool is the
-// concurrency bound (no per-request threads since the admission rework).
-// Each request's RNG streams derive from its own seed, so the per-request
-// results — and therefore the cross-client determinism checksum printed
-// per row — must be identical at every concurrency level; the binary
-// exits non-zero on a mismatch, like bench_parallel_scaling.
+// engine (catalog + shared pool + admission queue) serves Q
+// mixed-algorithm SolveRequests at each requested driver concurrency: all
+// requests are submitted up front and the engine's fixed driver pool is
+// the concurrency bound (no per-request threads since the admission
+// rework). Each request's RNG streams derive from its own seed, so the
+// per-request results — and therefore the cross-client determinism
+// checksum printed per row — must be identical at every concurrency
+// level; the binary exits non-zero on a mismatch, like
+// bench_parallel_scaling.
 //
 // The saturation phase rebuilds the engine with a deliberately tiny
 // admission capacity and rejection (non-blocking) policy, bursts every
 // query at it, and reports admitted/rejected counts — the backpressure a
 // real traffic front sees — re-checking that every admitted result is
 // bit-identical to its unsaturated run.
+//
+// The mixed-workload phase routes one request stream round-robin across
+// the --graphs catalog entries on ONE engine, reports per-graph queries/s,
+// and re-checks the multi-tenant determinism contract: each result must be
+// bit-identical to its solo run on the same snapshot, even while an
+// unrelated graph is hot-swapped (GraphCatalog::Swap) mid-workload.
 //
 //   --clients 1,2,4,8     driver-concurrency levels to sweep
 //   --queries 24          requests per level
@@ -24,6 +32,10 @@
 //   --queue-depth 64      waiting-room slots beyond the drivers
 //   --sat-drivers 2       saturation phase: driver threads
 //   --sat-queue 4         saturation phase: waiting-room slots
+//   --graph bench-a       catalog graph for the sweep/saturation phases
+//   --graphs bench-a,bench-b
+//                         graphs for the mixed-workload phase; built-in
+//                         dataset names register their surrogates on demand
 //   --eta-fraction 0.05   per-request threshold
 //   --scale 1.0           graph size multiplier
 //   --model ic|lt
@@ -32,10 +44,12 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
@@ -46,7 +60,8 @@
 namespace asti {
 namespace {
 
-// Order-sensitive digest over one request's observable outcome.
+// Order-sensitive digest over one request's observable outcome, including
+// the snapshot identity the engine reports back.
 uint64_t OneResultChecksum(const SolveResult& result) {
   uint64_t digest = 0xcbf29ce484222325ULL;
   auto mix = [&digest](uint64_t word) {
@@ -58,6 +73,8 @@ uint64_t OneResultChecksum(const SolveResult& result) {
     mix(trace.total_activated);
   }
   for (size_t count : result.seed_counts) mix(count);
+  mix(result.graph_epoch);
+  for (char c : result.graph_name) mix(static_cast<uint64_t>(c));
   return digest;
 }
 
@@ -76,6 +93,13 @@ struct LevelRow {
   size_t drivers = 0;
   double rate = 0.0;
   double speedup = 1.0;
+  uint64_t checksum = 0;
+};
+
+struct MixedGraphRow {
+  std::string name;
+  size_t queries = 0;
+  double rate = 0.0;
   uint64_t checksum = 0;
 };
 
@@ -108,17 +132,50 @@ int main(int argc, char** argv) {
   const size_t sat_drivers = count_flag("sat-drivers", 2);
   const size_t sat_queue = count_flag("sat-queue", 4);
   const std::string json_path = cli.GetString("json", "");
+  const double eta_fraction = cli.GetDouble("eta-fraction", 0.05);
 
-  // Power-law generator graph, the regime of the paper's datasets.
-  const NodeId n = static_cast<NodeId>(8000 * scale);
-  const size_t m = static_cast<size_t>(48000 * scale);
-  Rng graph_rng(seed);
-  auto graph = BuildWeightedGraph(MakeChungLu(n, m, 2.1, graph_rng),
-                                  WeightScheme::kWeightedCascade);
-  ASM_CHECK(graph.ok()) << graph.status().ToString();
-  const NodeId eta = std::max<NodeId>(
-      1, static_cast<NodeId>(cli.GetDouble("eta-fraction", 0.05) *
-                             graph->NumNodes()));
+  // The serving catalog. Two built-in power-law generator graphs (the
+  // regime of the paper's datasets) with different structure seeds;
+  // further names requested via --graph/--graphs register the matching
+  // dataset surrogate on demand.
+  GraphCatalog catalog;
+  {
+    Rng rng_a(seed);
+    auto bench_a =
+        BuildWeightedGraph(MakeChungLu(static_cast<NodeId>(8000 * scale),
+                                       static_cast<size_t>(48000 * scale), 2.1, rng_a),
+                           WeightScheme::kWeightedCascade);
+    ASM_CHECK(bench_a.ok()) << bench_a.status().ToString();
+    ASM_CHECK(catalog.Register("bench-a", std::move(bench_a).value()).ok());
+    Rng rng_b(seed + 1);
+    auto bench_b =
+        BuildWeightedGraph(MakeChungLu(static_cast<NodeId>(6000 * scale),
+                                       static_cast<size_t>(30000 * scale), 2.3, rng_b),
+                           WeightScheme::kWeightedCascade);
+    ASM_CHECK(bench_b.ok()) << bench_b.status().ToString();
+    ASM_CHECK(catalog.Register("bench-b", std::move(bench_b).value()).ok());
+  }
+  auto ensure_graph = [&catalog, scale, seed](const std::string& name) -> GraphRef {
+    if (auto ref = catalog.Get(name); ref.ok()) return *ref;
+    auto id = DatasetIdFromName(name);
+    ASM_CHECK(id.ok()) << "--graph(s) name '" << name
+                       << "' is neither a registered bench graph nor a built-in "
+                          "dataset: " << id.status().ToString();
+    // Dataset names are case-insensitive but register under the canonical
+    // lowercase spelling — look that up before registering so resolving
+    // the same dataset twice reuses the entry instead of colliding.
+    if (auto ref = catalog.Get(CanonicalDatasetName(*id)); ref.ok()) return *ref;
+    auto registered = RegisterSurrogate(catalog, *id, scale, seed);
+    ASM_CHECK(registered.ok()) << registered.status().ToString();
+    return *registered;
+  };
+  auto eta_for = [eta_fraction](const GraphRef& ref) {
+    return std::max<NodeId>(1, static_cast<NodeId>(eta_fraction *
+                                                   static_cast<double>(ref.num_nodes)));
+  };
+
+  const GraphRef main_graph = ensure_graph(cli.GetString("graph", "bench-a"));
+  const NodeId eta = eta_for(main_graph);
 
   // The request mix: the TRIM family plus the degree heuristic, each query
   // with its own seed (query i is reproducible in isolation).
@@ -127,6 +184,7 @@ int main(int argc, char** argv) {
   std::vector<SolveRequest> requests;
   for (size_t i = 0; i < queries; ++i) {
     SolveRequest request;
+    request.graph = main_graph.name;
     request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
     request.model = model;
     request.eta = eta;
@@ -135,8 +193,9 @@ int main(int argc, char** argv) {
     requests.push_back(request);
   }
 
-  std::cout << "SeedMinEngine serving throughput on Chung-Lu graph (n="
-            << graph->NumNodes() << ", m=" << graph->NumEdges()
+  std::cout << "SeedMinEngine serving throughput on catalog graph '"
+            << main_graph.name << "' (n=" << main_graph.num_nodes
+            << ", m=" << main_graph.num_edges
             << ", model=" << DiffusionModelName(model) << ", eta=" << eta
             << ", queries/level=" << queries << ", pool threads="
             << (pool_threads == 0 ? std::string("hw") : std::to_string(pool_threads))
@@ -156,7 +215,7 @@ int main(int argc, char** argv) {
     options.num_drivers = drivers_override != 0 ? drivers_override : clients;
     options.max_queue_depth = std::max(queue_depth, queries);  // never reject here
     options.block_when_full = true;
-    SeedMinEngine engine(*graph, options);
+    SeedMinEngine engine(catalog, options);
 
     WallTimer timer;
     std::vector<std::future<StatusOr<SolveResult>>> futures;
@@ -206,7 +265,7 @@ int main(int argc, char** argv) {
   size_t rejected = 0;
   bool admitted_match_reference = true;
   {
-    SeedMinEngine engine(*graph, sat_options);
+    SeedMinEngine engine(catalog, sat_options);
     std::vector<std::future<StatusOr<SolveResult>>> futures;
     futures.reserve(requests.size());
     for (const SolveRequest& request : requests) {
@@ -224,8 +283,8 @@ int main(int argc, char** argv) {
         ++rejected;
       }
     }
-    const AdmissionQueue::Stats stats = engine.admission_stats();
-    ASM_CHECK(stats.rejected == rejected);
+    const SeedMinEngine::EngineStats stats = engine.admission_stats();
+    ASM_CHECK(stats.queue.rejected == rejected);
   }
   const size_t capacity = sat_drivers + sat_queue;
   std::cout << "\nSaturation burst (" << queries << " submissions at capacity "
@@ -237,12 +296,123 @@ int main(int argc, char** argv) {
             << "\n";
   deterministic = deterministic && admitted_match_reference;
 
+  // --- Mixed workload: one engine, many graphs, hot-swap under load ------
+  const std::vector<std::string> mixed_names =
+      ParseNameList(cli.GetString("graphs", "bench-a,bench-b"), "--graphs");
+  std::vector<GraphRef> mixed_refs;
+  mixed_refs.reserve(mixed_names.size());
+  for (const std::string& name : mixed_names) mixed_refs.push_back(ensure_graph(name));
+
+  std::vector<SolveRequest> mixed_requests;
+  for (size_t i = 0; i < queries; ++i) {
+    const GraphRef& ref = mixed_refs[i % mixed_refs.size()];
+    SolveRequest request;
+    request.graph = ref.name;
+    request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
+    request.model = model;
+    request.eta = eta_for(ref);
+    request.seed = seed + 5000 + i;
+    request.keep_traces = true;
+    mixed_requests.push_back(request);
+  }
+
+  // Solo reference pass: every mixed request on its own, no interleaving.
+  std::vector<uint64_t> mixed_solo;
+  {
+    SeedMinEngine::Options options;
+    options.num_threads = pool_threads;
+    SeedMinEngine engine(catalog, options);
+    for (const SolveRequest& request : mixed_requests) {
+      const StatusOr<SolveResult> solved = engine.Solve(request);
+      ASM_CHECK(solved.ok()) << solved.status().ToString();
+      mixed_solo.push_back(OneResultChecksum(*solved));
+    }
+  }
+
+  // Interleaved pass on one multi-tenant engine, with an unrelated graph
+  // being hot-swapped while the workload drains: the pinned-snapshot
+  // contract says no result may move.
+  size_t hot_swap_epochs = 0;
+  std::map<std::string, MixedGraphRow> per_graph;
+  bool mixed_deterministic = true;
+  {
+    Rng hot_rng(seed + 99);
+    auto hot = BuildWeightedGraph(
+        MakeChungLu(std::max<NodeId>(64, static_cast<NodeId>(500 * scale)),
+                    std::max<size_t>(128, static_cast<size_t>(2000 * scale)), 2.1,
+                    hot_rng),
+        WeightScheme::kWeightedCascade);
+    ASM_CHECK(hot.ok()) << hot.status().ToString();
+    ASM_CHECK(catalog.Register("hot-swap-target", std::move(*hot)).ok());
+
+    SeedMinEngine::Options options;
+    options.num_threads = pool_threads;
+    options.num_drivers =
+        drivers_override != 0 ? drivers_override : client_counts.back();
+    options.max_queue_depth = std::max(queue_depth, queries);
+    options.block_when_full = true;
+    SeedMinEngine engine(catalog, options);
+
+    WallTimer timer;
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    futures.reserve(mixed_requests.size());
+    for (const SolveRequest& request : mixed_requests) {
+      futures.push_back(engine.SubmitAsync(request));
+    }
+    // Swap the unrelated graph a few times while requests are in flight.
+    for (size_t swap = 0; swap < 3; ++swap) {
+      Rng swap_rng(seed + 200 + swap);
+      auto replacement = BuildWeightedGraph(
+          MakeChungLu(std::max<NodeId>(64, static_cast<NodeId>(500 * scale)),
+                      std::max<size_t>(128, static_cast<size_t>(2000 * scale)), 2.1,
+                      swap_rng),
+          WeightScheme::kWeightedCascade);
+      ASM_CHECK(replacement.ok()) << replacement.status().ToString();
+      const auto swapped =
+          catalog.Swap("hot-swap-target", std::move(*replacement));
+      ASM_CHECK(swapped.ok()) << swapped.status().ToString();
+      hot_swap_epochs = swapped->epoch;
+    }
+    std::vector<std::vector<uint64_t>> digests_by_graph;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const StatusOr<SolveResult> solved = futures[i].get();
+      ASM_CHECK(solved.ok()) << solved.status().ToString();
+      const uint64_t digest = OneResultChecksum(*solved);
+      mixed_deterministic = mixed_deterministic && digest == mixed_solo[i];
+      MixedGraphRow& row = per_graph[solved->graph_name];
+      row.name = solved->graph_name;
+      ++row.queries;
+      row.checksum ^= digest;
+    }
+    const double seconds = timer.Seconds();
+    for (auto& [name, row] : per_graph) {
+      row.rate = static_cast<double>(row.queries) / seconds;
+    }
+    ASM_CHECK(catalog.Retire("hot-swap-target").ok());
+  }
+
+  std::cout << "\nMixed workload (" << queries << " queries round-robin over "
+            << mixed_refs.size() << " graphs, one engine, "
+            << hot_swap_epochs - 1 << " hot-swaps of an unrelated graph):\n";
+  TextTable mixed_table({"graph", "queries", "queries/s", "checksum"});
+  for (const auto& [name, row] : per_graph) {
+    mixed_table.AddRow({row.name, std::to_string(row.queries),
+                        FormatDouble(row.rate, 1),
+                        std::to_string(row.checksum % 1000000)});
+  }
+  mixed_table.Print(std::cout);
+  std::cout << "Mixed results bit-identical to solo runs (per pinned "
+               "snapshot): "
+            << (mixed_deterministic ? "yes" : "NO — determinism violated") << "\n";
+  deterministic = deterministic && mixed_deterministic;
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     ASM_CHECK(out.good()) << "cannot open --json path " << json_path;
     out << "{\n"
-        << "  \"graph\": {\"nodes\": " << graph->NumNodes()
-        << ", \"edges\": " << graph->NumEdges() << "},\n"
+        << "  \"graph\": {\"name\": \"" << main_graph.name
+        << "\", \"nodes\": " << main_graph.num_nodes
+        << ", \"edges\": " << main_graph.num_edges << "},\n"
         << "  \"model\": \"" << DiffusionModelName(model) << "\",\n"
         << "  \"eta\": " << eta << ",\n"
         << "  \"queries_per_level\": " << queries << ",\n"
@@ -261,6 +431,18 @@ int main(int argc, char** argv) {
         << ", \"drivers\": " << sat_drivers << ", \"queue_depth\": " << sat_queue
         << ", \"submitted\": " << queries << ", \"admitted\": " << admitted
         << ", \"rejected\": " << rejected << "},\n"
+        << "  \"mixed_workload\": {\"hot_swaps\": "
+        << (hot_swap_epochs == 0 ? 0 : hot_swap_epochs - 1) << ", \"graphs\": [";
+    bool first = true;
+    for (const auto& [name, row] : per_graph) {
+      out << (first ? "\n" : ",\n") << "    {\"name\": \"" << row.name
+          << "\", \"queries\": " << row.queries
+          << ", \"queries_per_s\": " << row.rate
+          << ", \"checksum\": " << row.checksum << "}";
+      first = false;
+    }
+    out << "\n  ], \"deterministic\": " << (mixed_deterministic ? "true" : "false")
+        << "},\n"
         << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
         << "}\n";
   }

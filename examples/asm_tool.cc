@@ -1,29 +1,35 @@
 // asm_tool — command-line adaptive seed minimization on your own graph.
 //
-// The "bring your own data" entry point: load a weighted edge list (or
-// name a built-in surrogate), pick a diffusion model, algorithm, and
+// The "bring your own data" entry point: load a weighted edge list and/or
+// name a built-in surrogate, pick a diffusion model, algorithm, and
 // threshold, and get the per-round trace plus an optional archive file.
-// Queries are served by the SeedMinEngine façade, so every algorithm in
-// the registry — including the non-adaptive ATEUC/Bisection baselines —
-// is available, bad inputs come back as readable errors instead of
-// crashes, and runs follow the §6 protocol (hidden worlds derived from
-// --seed, shared across algorithms).
+// Graphs are registered in a GraphCatalog and queries are routed by name
+// through the SeedMinEngine façade, so every algorithm in the registry —
+// including the non-adaptive ATEUC/Bisection baselines — is available,
+// bad inputs come back as readable errors instead of crashes, and runs
+// follow the §6 protocol (hidden worlds derived from --seed, shared
+// across algorithms).
 //
 // Usage:
-//   asm_tool --graph edges.txt --eta 500
-//   asm_tool --dataset nethept --scale 0.2 --eta-fraction 0.05
+//   asm_tool --graph-file edges.txt --eta 500
+//   asm_tool --graph nethept --scale 0.2 --eta-fraction 0.05
 //            --model LT --algorithm ASTI-4 --runs 3 --save-traces out.tr
 //   asm_tool --list-algorithms
+//   asm_tool --list-graphs
 //
-// Flags: --graph PATH | --dataset NAME [--scale S], --eta N |
-// --eta-fraction F, --model IC|LT, --algorithm NAME (see
-// --list-algorithms; ASTI-b accepts any b >= 1), --epsilon E, --threads T
-// (1 = sequential, 0 = all cores), --runs R, --seed S,
-// --timeout SECONDS (abandon the run with DeadlineExceeded past the
-// budget; unset = no deadline), --save-traces PATH, --quiet.
+// Flags: --graph NAME (catalog graph to query: a built-in surrogate name
+// from --list-graphs, or "custom" when --graph-file is given; --dataset
+// is an accepted legacy alias) | --graph-file PATH (load a weighted edge
+// list and register it as "custom"), --scale S (surrogate size
+// multiplier), --eta N | --eta-fraction F, --model IC|LT,
+// --algorithm NAME (see --list-algorithms; ASTI-b accepts any b >= 1),
+// --epsilon E, --threads T (1 = sequential, 0 = all cores), --runs R,
+// --seed S, --timeout SECONDS (abandon the run with DeadlineExceeded past
+// the budget; unset = no deadline), --save-traces PATH, --quiet.
 
 #include <iostream>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
@@ -34,17 +40,43 @@
 namespace asti {
 namespace {
 
-StatusOr<DirectedGraph> LoadGraph(const CommandLine& cli) {
-  if (cli.Has("graph")) {
-    auto file = LoadEdgeList(cli.GetString("graph", ""));
+constexpr const char* kCustomGraphName = "custom";
+
+// Populates the catalog with the requested graph(s) and returns the name
+// the query should route to: --graph-file registers "custom"; a --graph /
+// --dataset value naming a built-in surrogate registers that; with
+// neither, the NetHEPT surrogate is the default target.
+StatusOr<std::string> PopulateCatalog(const CommandLine& cli, GraphCatalog& catalog) {
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  std::string target = cli.GetString("graph", cli.GetString("dataset", ""));
+
+  if (cli.Has("graph-file")) {
+    auto file = LoadEdgeList(cli.GetString("graph-file", ""));
     if (!file.ok()) return file.status();
-    return BuildGraphFromEdgeList(*file);
+    auto graph = BuildGraphFromEdgeList(*file);
+    if (!graph.ok()) return graph.status();
+    auto registered = catalog.Register(kCustomGraphName, std::move(graph).value());
+    if (!registered.ok()) return registered.status();
+    if (target.empty()) target = kCustomGraphName;
   }
-  const std::string dataset = cli.GetString("dataset", "nethept");
-  auto id = DatasetIdFromName(dataset);
-  if (!id.ok()) return id.status();
-  return MakeSurrogateDataset(*id, cli.GetDouble("scale", 0.2),
-                              static_cast<uint64_t>(cli.GetInt("seed", 7)));
+  if (target.empty()) target = CanonicalDatasetName(DatasetId::kNetHept);
+
+  if (!catalog.Get(target).ok()) {
+    // Not loaded from a file: the name must be a built-in surrogate.
+    auto id = DatasetIdFromName(target);
+    if (!id.ok()) {
+      // Spell out the migration: --graph used to take an edge-list path.
+      return Status::NotFound(
+          "no catalog graph or built-in dataset named '" + target +
+          "' (see --list-graphs; to load a weighted edge-list file, use "
+          "--graph-file PATH)");
+    }
+    auto registered =
+        RegisterSurrogate(catalog, *id, cli.GetDouble("scale", 0.2), seed);
+    if (!registered.ok()) return registered.status();
+    target = registered->name;  // canonical spelling
+  }
+  return target;
 }
 
 int ListAlgorithms() {
@@ -59,16 +91,40 @@ int ListAlgorithms() {
   return 0;
 }
 
+int ListGraphs() {
+  TextTable table({"name", "kind", "paper n", "paper m",
+                   "surrogate n (scale 1)", "surrogate m (scale 1)"});
+  for (const DatasetInfo& info : AllDatasets()) {
+    table.AddRow({CanonicalDatasetName(info.id),
+                  info.undirected ? "undirected" : "directed",
+                  FormatDouble(info.paper_nodes, 0), FormatDouble(info.paper_edges, 0),
+                  std::to_string(info.surrogate_nodes),
+                  std::to_string(info.surrogate_edges)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nAny of these names registers its surrogate (sized by "
+               "--scale) in the serving catalog; --graph-file PATH registers "
+               "your own weighted edge list as 'custom'.\n";
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   if (cli.Has("list-algorithms")) return ListAlgorithms();
+  if (cli.Has("list-graphs")) return ListGraphs();
 
-  auto graph = LoadGraph(cli);
-  if (!graph.ok()) {
-    std::cerr << "graph: " << graph.status().ToString() << "\n";
+  GraphCatalog catalog;
+  auto target = PopulateCatalog(cli, catalog);
+  if (!target.ok()) {
+    std::cerr << "graph: " << target.status().ToString() << "\n";
     return 1;
   }
-  const NodeId n = graph->NumNodes();
+  const auto ref = catalog.Get(*target);
+  if (!ref.ok()) {
+    std::cerr << "graph: " << ref.status().ToString() << "\n";
+    return 1;
+  }
+  const NodeId n = ref->num_nodes;
   NodeId eta = static_cast<NodeId>(cli.GetInt("eta", 0));
   if (eta == 0) {
     eta = static_cast<NodeId>(cli.GetDouble("eta-fraction", 0.05) * n);
@@ -82,6 +138,7 @@ int Run(int argc, char** argv) {
   }
 
   SolveRequest request;
+  request.graph = *target;
   request.algorithm = spec->id;
   request.batch_size = spec->batch_size;
   request.model = cli.GetString("model", "IC") == "LT"
@@ -92,8 +149,8 @@ int Run(int argc, char** argv) {
   // Flags read directly rather than via ApplyRequestOverrides: asm_tool is
   // a user tool, and the bench-harness ASM_BENCH_* env knobs must never
   // silently change a run. --runs is the documented spelling
-  // (--realizations accepted as an alias); --seed 7 matches LoadGraph's
-  // surrogate default, so one seed governs the whole invocation.
+  // (--realizations accepted as an alias); --seed 7 matches the surrogate
+  // default, so one seed governs the whole invocation.
   request.epsilon = cli.GetDouble("epsilon", request.epsilon);
   request.seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
   // Signed reads guarded before the size_t casts: a negative value must
@@ -125,14 +182,15 @@ int Run(int argc, char** argv) {
   }
   const bool quiet = cli.Has("quiet");
 
-  std::cout << "graph: n=" << n << " m=" << graph->NumEdges()
+  std::cout << "graph: " << ref->name << " (epoch " << ref->epoch << ") n=" << n
+            << " m=" << ref->num_edges
             << "  model=" << DiffusionModelName(request.model) << "  eta=" << eta
             << "  algorithm=" << algorithm_name << "\n";
 
   // --threads read directly (not NumThreadsOverride): a lingering
   // ASM_BENCH_THREADS export must not silently flip the user's run onto a
   // different (sequential vs pooled) stream protocol.
-  SeedMinEngine engine(*graph, {static_cast<size_t>(threads)});
+  SeedMinEngine engine(catalog, {static_cast<size_t>(threads)});
   StatusOr<SolveResult> solved = engine.Solve(request);
   if (!solved.ok()) {
     std::cerr << solved.status().ToString() << "\n";
@@ -163,7 +221,8 @@ int Run(int argc, char** argv) {
     std::cout << "run " << run + 1 << ": " << trace.NumSeeds() << " seeds, "
               << trace.total_activated << " activated, " << trace.seconds << "s\n";
   }
-  std::cout << "\nsummary: " << Summarize(result.aggregate) << "\n";
+  std::cout << "\nsummary: " << Summarize(result.aggregate) << " [graph "
+            << result.graph_name << "@" << result.graph_epoch << "]\n";
 
   if (cli.Has("save-traces")) {
     const std::string path = cli.GetString("save-traces", "");

@@ -10,28 +10,31 @@
 
 #include <iostream>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/table.h"
 #include "graph/datasets.h"
 
 int main() {
   using namespace asti;
-  auto graph = MakeSurrogateDataset(DatasetId::kNetHept, 0.5, 5);
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
+  GraphCatalog catalog;
+  const auto nethept = RegisterSurrogate(catalog, DatasetId::kNetHept, 0.5, 5);
+  if (!nethept.ok()) {
+    std::cerr << nethept.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 10);
+  const NodeId eta = static_cast<NodeId>(nethept->num_nodes / 10);
   const size_t repeats = 5;
   std::cout << "Latency/budget tradeoff on a collaboration network: n="
-            << graph->NumNodes() << ", eta=" << eta << ", " << repeats
+            << nethept->num_nodes << ", eta=" << eta << ", " << repeats
             << " hidden worlds per batch size\n\n";
 
-  SeedMinEngine engine(*graph);
+  SeedMinEngine engine(catalog);
   TextTable table({"batch b", "rounds (latency)", "seeds (budget)",
                    "selection time (s)", "reached"});
   for (NodeId batch : {1, 2, 4, 8, 16}) {
     SolveRequest request;
+    request.graph = nethept->name;
     request.algorithm = AlgorithmId::kAsti;
     request.batch_size = batch;  // b = 1 runs TRIM, b > 1 runs TRIM-B
     request.eta = eta;

@@ -12,33 +12,36 @@
 #include <iostream>
 #include <vector>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/table.h"
 #include "graph/datasets.h"
 
 int main() {
   using namespace asti;
-  auto graph = MakeSurrogateDataset(DatasetId::kYoutube, 0.1, 17);
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
+  GraphCatalog catalog;
+  const auto youtube = RegisterSurrogate(catalog, DatasetId::kYoutube, 0.1, 17);
+  if (!youtube.ok()) {
+    std::cerr << youtube.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 10);
-  std::cout << "IC vs LT on a friendship network: n=" << graph->NumNodes()
-            << ", m=" << graph->NumEdges() << ", eta=" << eta << "\n\n";
+  const NodeId eta = static_cast<NodeId>(youtube->num_nodes / 10);
+  std::cout << "IC vs LT on a friendship network: n=" << youtube->num_nodes
+            << ", m=" << youtube->num_edges << ", eta=" << eta << "\n\n";
 
   // Four drivers serve the four queries concurrently; the admission queue
   // would absorb (or, with block_when_full, throttle) anything beyond
   // drivers + max_queue_depth in a real serving deployment.
   SeedMinEngine::Options options;
   options.num_drivers = 4;
-  SeedMinEngine engine(*graph, options);
+  SeedMinEngine engine(catalog, options);
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   std::vector<DiffusionModel> models;
   for (DiffusionModel model :
        {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold}) {
     for (AlgorithmId algorithm : {AlgorithmId::kAsti, AlgorithmId::kAsti4}) {
       SolveRequest request;
+      request.graph = youtube->name;
       request.model = model;
       request.eta = eta;
       request.algorithm = algorithm;

@@ -1,13 +1,15 @@
 // Quickstart: adaptive seed minimization in ~40 lines.
 //
-// Builds a small probabilistic social graph, asks the SeedMinEngine to
-// influence at least η = 50 of its 200 users with ASTI (the TRIM
-// instantiation), and prints the select-observe round trace. Shows the
-// three core API pieces: GraphBuilder/generators -> SeedMinEngine ->
+// Builds a small probabilistic social graph, registers it in a
+// GraphCatalog, asks the SeedMinEngine to influence at least η = 50 of
+// its 200 users with ASTI (the TRIM instantiation), and prints the
+// select-observe round trace. Shows the four core API pieces:
+// GraphBuilder/generators -> GraphCatalog -> SeedMinEngine ->
 // SolveRequest/SolveResult.
 
 #include <iostream>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "graph/generators.h"
 
@@ -26,13 +28,25 @@ int main() {
   std::cout << "Graph: " << graph->NumNodes() << " nodes, " << graph->NumEdges()
             << " directed edges\n";
 
-  // 2. The engine: one façade over every algorithm in the registry.
-  SeedMinEngine engine(*graph);
+  // 2. The catalog: named, immutable graph snapshots a resident service
+  //    can serve, hot-swap, and retire. Registering moves the graph in.
+  GraphCatalog catalog;
+  if (auto registered = catalog.Register("social", std::move(graph).value());
+      !registered.ok()) {
+    std::cerr << registered.status().ToString() << "\n";
+    return 1;
+  }
 
-  // 3. The query: algorithm, model, threshold and RNG seed in one struct.
-  //    The hidden IC realization the policy plays against is derived from
-  //    the request seed; keep_traces retains the per-round records.
+  // 3. The engine: one multi-tenant façade over every algorithm in the
+  //    registry, routing each request to the catalog graph it names.
+  SeedMinEngine engine(catalog);
+
+  // 4. The query: graph name, algorithm, model, threshold and RNG seed in
+  //    one struct. The hidden IC realization the policy plays against is
+  //    derived from the request seed; keep_traces retains the per-round
+  //    records.
   SolveRequest request;
+  request.graph = "social";
   request.algorithm = AlgorithmId::kAsti;
   request.model = DiffusionModel::kIndependentCascade;
   request.eta = 50;

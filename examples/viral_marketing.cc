@@ -7,15 +7,17 @@
 //   * ATEUC (non-adaptive one-shot selection),
 //   * bisection-on-k (the pre-ATEUC literature's transformation),
 //   * adaptive highest-degree heuristic (what a naive growth team does).
-// All four run as one SolveBatch on a shared SeedMinEngine — the requests
-// are admitted into the engine's bounded queue and served by its driver
-// pool (SolveBatch uses blocking admission, so batches of any size
+// All four run as one SolveBatch on a shared SeedMinEngine serving an
+// Epinions surrogate out of a GraphCatalog — the requests name their
+// graph, are admitted into the engine's bounded queue and served by its
+// driver pool (SolveBatch uses blocking admission, so batches of any size
 // throttle rather than reject), and because every request's RNG streams
 // derive from its own seed, each row is bit-identical to a solo run.
 
 #include <iostream>
 #include <vector>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/table.h"
 #include "graph/datasets.h"
@@ -25,23 +27,26 @@ int main(int argc, char** argv) {
   (void)argc;
   (void)argv;
 
-  // An Epinions-like trust network at laptop scale.
-  auto graph = MakeSurrogateDataset(DatasetId::kEpinions, 0.12, 99);
-  if (!graph.ok()) {
-    std::cerr << graph.status().ToString() << "\n";
+  // An Epinions-like trust network at laptop scale, registered under its
+  // canonical catalog name.
+  GraphCatalog catalog;
+  const auto epinions = RegisterSurrogate(catalog, DatasetId::kEpinions, 0.12, 99);
+  if (!epinions.ok()) {
+    std::cerr << epinions.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(graph->NumNodes() / 20);  // 5% reach
+  const NodeId eta = static_cast<NodeId>(epinions->num_nodes / 20);  // 5% reach
   const size_t campaigns = 8;
-  std::cout << "Viral marketing on a trust network: n=" << graph->NumNodes()
+  std::cout << "Viral marketing on a trust network: n=" << epinions->num_nodes
             << ", target reach eta=" << eta << ", " << campaigns
             << " simulated campaigns\n\n";
 
-  SeedMinEngine engine(*graph);
+  SeedMinEngine engine(catalog);
   std::vector<SolveRequest> requests;
   for (AlgorithmId strategy : {AlgorithmId::kAsti, AlgorithmId::kAteuc,
                                AlgorithmId::kBisection, AlgorithmId::kDegree}) {
     SolveRequest request;
+    request.graph = epinions->name;
     request.algorithm = strategy;
     request.eta = eta;
     request.realizations = campaigns;

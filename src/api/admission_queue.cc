@@ -22,7 +22,7 @@ AdmissionQueue::AdmitResult AdmissionQueue::Admit(AdmissionTask task,
     return AdmitResult::kRejected;
   }
   ++in_flight_;
-  ++stats_.admitted;
+  ++stats_.accepted;
   queue_.push_back(std::move(task));
   lock.unlock();
   ready_.notify_one();
@@ -41,12 +41,22 @@ bool AdmissionQueue::Pop(AdmissionTask& out) {
   return true;
 }
 
-void AdmissionQueue::Complete() {
+void AdmissionQueue::Complete(AdmissionOutcome outcome) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ASM_CHECK(in_flight_ >= 1) << "Complete without a matching Admit";
     --in_flight_;
     ++stats_.completed;
+    switch (outcome) {
+      case AdmissionOutcome::kExecuted:
+        break;
+      case AdmissionOutcome::kCancelledInQueue:
+        ++stats_.cancelled_in_queue;
+        break;
+      case AdmissionOutcome::kDeadlineInQueue:
+        ++stats_.deadline_in_queue;
+        break;
+    }
   }
   space_.notify_one();
 }

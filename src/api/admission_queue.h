@@ -12,11 +12,14 @@
 // Q + D + k submissions yields exactly k rejections regardless of how the
 // dequeue races go, because dequeuing alone never frees a slot.
 //
-// A work item is a callback taking one flag: drivers run it with
-// aborted = false; items stripped by Close() (engine destruction with
-// requests still queued) are run with aborted = true so their futures can
-// resolve to Status::Cancelled instead of being dropped. Items must not
-// throw.
+// A work item is a callback taking one flag and *returning how it
+// resolved*: drivers run it with aborted = false; items stripped by
+// Close() (engine destruction with requests still queued) are run with
+// aborted = true so their futures can resolve to Status::Cancelled
+// instead of being dropped. The returned AdmissionOutcome feeds the
+// per-outcome stats() counters — executed, cancelled while still queued,
+// or expired while still queued — so the serving front can tell "work we
+// did" from "work that died waiting" at a glance. Items must not throw.
 //
 // Thread-safety: every member is safe to call concurrently. Blocking
 // admission (kBlock) waits on completion capacity and is woken by either
@@ -33,9 +36,18 @@
 
 namespace asti {
 
+/// How one admitted item resolved — the consumer reports it back through
+/// Complete() so the queue's counters can split by outcome.
+enum class AdmissionOutcome {
+  kExecuted,          // the item ran (whatever Status its work produced)
+  kCancelledInQueue,  // resolved Cancelled without ever executing
+                      //   (queue-abort on Close, or token fired while queued)
+  kDeadlineInQueue,   // deadline expired while waiting; never executed
+};
+
 /// One admitted unit of work. `aborted` is true only when the queue was
-/// closed before a driver picked the item up.
-using AdmissionTask = std::function<void(bool aborted)>;
+/// closed before a driver picked the item up. Returns how it resolved.
+using AdmissionTask = std::function<AdmissionOutcome(bool aborted)>;
 
 class AdmissionQueue {
  public:
@@ -50,14 +62,24 @@ class AdmissionQueue {
     kClosed,    // Close() ran; nothing is admitted any more
   };
 
-  /// Monotonic counters; snapshot via stats(). admitted counts successful
-  /// Admit calls, completed counts Complete calls (aborted items
-  /// included). Since a consumer calls Complete after running the item,
-  /// completed can momentarily trail the resolution of the item's future.
+  /// Monotonic per-outcome counters; snapshot via stats().
+  ///   accepted            — successful Admit calls.
+  ///   rejected            — Admit calls answered kRejected (capacity).
+  ///   completed           — Complete calls (every accepted item produces
+  ///                         exactly one, whatever its outcome), so
+  ///                         accepted == completed once the queue drains.
+  ///   cancelled_in_queue  — accepted items resolved Cancelled without
+  ///                         executing (Close abort, token fired queued).
+  ///   deadline_in_queue   — accepted items whose deadline expired while
+  ///                         still waiting; never executed.
+  /// Since a consumer calls Complete after running the item, completed can
+  /// momentarily trail the resolution of the item's future.
   struct Stats {
-    size_t admitted = 0;
+    size_t accepted = 0;
     size_t rejected = 0;
     size_t completed = 0;
+    size_t cancelled_in_queue = 0;
+    size_t deadline_in_queue = 0;
   };
 
   /// `capacity` bounds admitted-but-not-completed items; >= 1.
@@ -72,11 +94,12 @@ class AdmissionQueue {
 
   /// Consumer side: blocks until an item is available (true) or the queue
   /// is closed (false, `out` untouched). Callers must invoke the item and
-  /// then Complete().
+  /// then Complete() with the outcome the item returned.
   bool Pop(AdmissionTask& out);
 
-  /// Releases one capacity slot (an item finished executing or aborting).
-  void Complete();
+  /// Releases one capacity slot (an item finished executing or aborting)
+  /// and records how the item resolved.
+  void Complete(AdmissionOutcome outcome = AdmissionOutcome::kExecuted);
 
   /// Stops admission, wakes every blocked producer and consumer, and
   /// returns the items that were queued but never popped — the caller

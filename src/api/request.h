@@ -2,13 +2,18 @@
 //
 // The paper frames adaptive seed minimization as a query — given (graph,
 // model, η, ε), return a minimal seed sequence. SolveRequest is that query
-// as a value type: every knob the nine legacy entry points re-threaded
-// (algorithm id, model, η, ε, batch size, realizations, per-request seed,
-// algorithm-specific params) in one struct. A request carries its own RNG
-// seed, and every stream used to serve it is derived from that seed alone
-// (Rng::Split families), so a SolveResult is a pure function of
-// (graph, request) — bit-identical whether the request runs solo,
-// batched, or interleaved with other clients on a shared pool.
+// as a value type: the *name* of a catalog graph plus every knob the nine
+// legacy entry points re-threaded (algorithm id, model, η, ε, batch size,
+// realizations, per-request seed, algorithm-specific params) in one
+// struct. The graph name is resolved against the engine's GraphCatalog at
+// admission; the request pins that snapshot (name, epoch) for its whole
+// execution, so hot-swapping the graph never perturbs in-flight work. A
+// request carries its own RNG seed, and every stream used to serve it is
+// derived from that seed alone (Rng::Split families), so a SolveResult is
+// a pure function of (graph snapshot, request) — bit-identical whether
+// the request runs solo, batched, or interleaved with other clients'
+// requests against the same or *different* catalog graphs on a shared
+// pool.
 
 #pragma once
 
@@ -28,6 +33,13 @@ namespace asti {
 
 /// One seed-minimization query.
 struct SolveRequest {
+  /// Name of the catalog graph to solve against, resolved at admission:
+  /// Status::NotFound for names the catalog doesn't hold,
+  /// Status::InvalidArgument when left empty (the legacy single-graph
+  /// engine binding is gone — every request names its dataset). The
+  /// resolved snapshot is pinned for the request's lifetime; the answer
+  /// records the (graph_name, graph_epoch) it was computed on.
+  std::string graph;
   AlgorithmId algorithm = AlgorithmId::kAsti;
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   /// Activation threshold η ∈ [1, n].
@@ -76,6 +88,11 @@ struct SolveResult {
   AlgorithmId algorithm = AlgorithmId::kAsti;
   /// Selector display name ("ASTI", "ASTI-16", "ATEUC", ...).
   std::string algorithm_name;
+  /// Catalog identity of the snapshot this result was computed on: the
+  /// request's graph name and the epoch it resolved to at admission.
+  /// Reproducing the result requires that exact (name, epoch) snapshot.
+  std::string graph_name;
+  uint64_t graph_epoch = 0;
   RunAggregate aggregate;
   std::vector<double> spreads;           // final spread per realization
   std::vector<size_t> seed_counts;       // per realization

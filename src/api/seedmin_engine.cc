@@ -1,5 +1,6 @@
 #include "api/seedmin_engine.h"
 
+#include <atomic>
 #include <utility>
 
 #include "baselines/ateuc.h"
@@ -17,8 +18,8 @@ namespace {
 // Domain-separated stream derivation via Rng::Split(i): world streams are
 // shared by every algorithm (same hidden realizations, the §6 protocol),
 // selector streams are distinct per (algorithm, run). All derivations root
-// at request.seed, never at engine state, so a result is a pure function
-// of (graph, request).
+// at request.seed, never at engine or catalog state, so a result is a pure
+// function of (graph snapshot, request).
 enum StreamDomain : uint64_t {
   kWorldDomain = 0,
   kAteucDomain = 1,
@@ -50,15 +51,98 @@ void FinishResult(const SolveRequest& request, std::vector<AdaptiveRunTrace> tra
 
 }  // namespace
 
-// One admitted request: the query plus the promise its SubmitAsync future
-// observes. Owned by the AdmissionTask closure until resolution.
+// Per-NAME serving counters, shared across epochs: a Swap must not reset
+// the completed total or lose sight of old-epoch requests still
+// executing, so the counters outlive any single snapshot's state.
+struct SeedMinEngine::GraphCounters {
+  std::atomic<size_t> inflight{0};
+  std::atomic<size_t> completed{0};
+};
+
+// Per-(name, epoch) serving state: the pinned snapshot, the per-name
+// counters (carried over across epochs), and lazily-built scratch reused
+// across requests against this snapshot. A Swap produces a NEW GraphState
+// (new epoch key), so scratch never crosses epochs; the old state — and
+// its snapshot pin — dies with the last in-flight request holding it.
+struct SeedMinEngine::GraphState {
+  GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters)
+      : ref(std::move(pinned)), counters(std::move(shared_counters)) {}
+
+  const GraphRef ref;
+  const std::shared_ptr<GraphCounters> counters;
+
+  // Free list of forward-simulation scratch (visited epochs, frontier
+  // buffers) sized for this snapshot. Borrowing hands a simulator to one
+  // request at a time, so concurrent one-shot evaluations never share
+  // scratch; reuse only skips re-allocation, never changes results.
+  std::mutex scratch_mutex;
+  std::vector<std::unique_ptr<ForwardSimulator>> free_simulators;
+
+  std::unique_ptr<ForwardSimulator> BorrowSimulator() {
+    {
+      std::lock_guard<std::mutex> lock(scratch_mutex);
+      if (!free_simulators.empty()) {
+        std::unique_ptr<ForwardSimulator> simulator = std::move(free_simulators.back());
+        free_simulators.pop_back();
+        return simulator;
+      }
+    }
+    return std::make_unique<ForwardSimulator>(ref.graph());
+  }
+
+  void ReturnSimulator(std::unique_ptr<ForwardSimulator> simulator) {
+    std::lock_guard<std::mutex> lock(scratch_mutex);
+    free_simulators.push_back(std::move(simulator));
+  }
+};
+
+SeedMinEngine::ServingSlot::ServingSlot(std::shared_ptr<GraphState> state)
+    : state_(std::move(state)) {
+  if (state_ != nullptr) {
+    state_->counters->inflight.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SeedMinEngine::ServingSlot::ServingSlot(ServingSlot&& other) noexcept
+    : state_(std::move(other.state_)) {}
+
+SeedMinEngine::ServingSlot& SeedMinEngine::ServingSlot::operator=(
+    ServingSlot&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr) {
+      state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
+      state_->counters->completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+SeedMinEngine::ServingSlot::~ServingSlot() {
+  if (state_ != nullptr) {
+    state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
+    state_->counters->completed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SeedMinEngine::ServingSlot::Dismiss() {
+  if (state_ != nullptr) {
+    state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
+    state_.reset();  // never admitted: not a completion
+  }
+}
+
+// One admitted request: the query, the graph state pinned at admission,
+// and the promise its SubmitAsync future observes. Owned by the
+// AdmissionTask closure until resolution.
 struct SeedMinEngine::PendingRequest {
   SolveRequest request;
+  ServingSlot slot;
   std::promise<StatusOr<SolveResult>> promise;
 };
 
-SeedMinEngine::SeedMinEngine(const DirectedGraph& graph, Options options)
-    : graph_(&graph), options_(options) {
+SeedMinEngine::SeedMinEngine(GraphCatalog& catalog, Options options)
+    : catalog_(&catalog), options_(options) {
   if (options_.num_threads != 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   options_.num_drivers = ResolveThreadCount(options_.num_drivers);
   const size_t capacity = options_.max_inflight != 0
@@ -72,14 +156,96 @@ SeedMinEngine::~SeedMinEngine() {
   // resolve their futures to Cancelled, then join the drivers, which
   // finish whatever they already picked up.
   for (AdmissionTask& orphan : queue_->Close()) {
-    orphan(/*aborted=*/true);
-    queue_->Complete();
+    queue_->Complete(orphan(/*aborted=*/true));
   }
   for (std::thread& driver : drivers_) driver.join();
 }
 
-Status SeedMinEngine::Validate(const SolveRequest& request) const {
-  const NodeId n = graph_->NumNodes();
+SeedMinEngine::EngineStats SeedMinEngine::admission_stats() const {
+  EngineStats stats;
+  stats.queue = queue_->stats();
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  for (const auto& [name, state] : graph_states_) {
+    GraphServingStats row;
+    row.name = name;
+    row.epoch = state->ref.epoch;
+    row.inflight = state->counters->inflight.load(std::memory_order_relaxed);
+    row.completed = state->counters->completed.load(std::memory_order_relaxed);
+    stats.graphs.push_back(std::move(row));
+  }
+  return stats;
+}
+
+StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph(
+    const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "request.graph must name a catalog graph (the legacy single-graph "
+        "engine binding is gone: Register the graph in the GraphCatalog and "
+        "set request.graph)");
+  }
+  // Resolution and cache update happen under one states_mutex_ critical
+  // section (catalog locks nest inside it, never the other way around).
+  // The version is read BEFORE Get: any catalog mutation racing this
+  // resolution either lands before the version read (we prune against it
+  // now) or after it (Get returns data at least as new as the recorded
+  // version, and the next resolution sees the version bump and
+  // re-prunes). Either way a stale ref can never be cached with the
+  // version marked current.
+  std::lock_guard<std::mutex> lock(states_mutex_);
+  const uint64_t version = catalog_->version();
+  if (version != catalog_version_seen_) PruneStatesLocked(version);
+  auto ref = catalog_->Get(name);
+  if (!ref.ok()) {
+    // Drop any stale cached state so a retired name's snapshot can be
+    // freed as soon as its in-flight requests finish.
+    graph_states_.erase(name);
+    return ref.status();
+  }
+  std::shared_ptr<GraphState>& slot = graph_states_[name];
+  // Snapshot identity is compared alongside the epoch: epochs restart at
+  // 1 when a retired name is re-registered, so epoch equality alone could
+  // leave a cached state serving the retired snapshot.
+  if (slot == nullptr || slot->ref.epoch != ref->epoch ||
+      slot->ref.snapshot != ref->snapshot) {
+    // Scratch is per-snapshot (fresh state), counters are per-name
+    // (carried over so a hot-swap never resets the serving totals or
+    // loses old-epoch requests still in flight).
+    auto counters = slot != nullptr ? slot->counters : std::make_shared<GraphCounters>();
+    slot = std::make_shared<GraphState>(std::move(*ref), std::move(counters));
+  }
+  return slot;
+}
+
+// Revalidates cached states against the catalog: retired names are
+// dropped (releasing the cache's snapshot pin), swapped names get fresh
+// per-epoch state in place with their per-name counters carried over.
+// In-flight requests keep their own shared_ptr pins, so neither path
+// pulls a snapshot out from under executing work. Called under
+// states_mutex_; takes the catalog lock once (List) rather than once per
+// cached entry.
+void SeedMinEngine::PruneStatesLocked(uint64_t catalog_version) {
+  std::map<std::string, GraphRef> live;
+  for (GraphRef& ref : catalog_->List()) live.emplace(ref.name, std::move(ref));
+  for (auto it = graph_states_.begin(); it != graph_states_.end();) {
+    const auto current = live.find(it->first);
+    if (current == live.end()) {
+      it = graph_states_.erase(it);
+      continue;
+    }
+    if (current->second.epoch != it->second->ref.epoch ||
+        current->second.snapshot != it->second->ref.snapshot) {
+      it->second = std::make_shared<GraphState>(std::move(current->second),
+                                                it->second->counters);
+    }
+    ++it;
+  }
+  catalog_version_seen_ = catalog_version;
+}
+
+Status SeedMinEngine::ValidateAgainst(const SolveRequest& request,
+                                      const DirectedGraph& graph) const {
+  const NodeId n = graph.NumNodes();
   const AlgorithmInfo* info = AlgorithmRegistry::Find(request.algorithm);
   if (info == nullptr) {
     return Status::InvalidArgument(
@@ -111,17 +277,42 @@ Status SeedMinEngine::Validate(const SolveRequest& request) const {
   return Status::OK();
 }
 
+Status SeedMinEngine::Validate(const SolveRequest& request) const {
+  if (request.graph.empty()) {
+    return Status::InvalidArgument(
+        "request.graph must name a catalog graph (the legacy single-graph "
+        "engine binding is gone: Register the graph in the GraphCatalog and "
+        "set request.graph)");
+  }
+  auto ref = catalog_->Get(request.graph);
+  if (!ref.ok()) return ref.status();
+  return ValidateAgainst(request, ref->graph());
+}
+
 StatusOr<SolveResult> SeedMinEngine::Solve(const SolveRequest& request) {
-  ASM_RETURN_NOT_OK(Validate(request));
+  auto state = ResolveGraph(request.graph);
+  if (!state.ok()) return state.status();
+  ASM_RETURN_NOT_OK(ValidateAgainst(request, (*state)->ref.graph()));
   const CancelScope scope(request.cancel, request.deadline);
   ASM_RETURN_NOT_OK(scope.ToStatus());  // expired/cancelled before any work
-  if (request.algorithm == AlgorithmId::kAteuc) {
-    return RunAteucRequest(request, scope);
+  const ServingSlot slot(*state);
+  return SolveOn(**state, request, scope);
+}
+
+StatusOr<SolveResult> SeedMinEngine::SolveOn(GraphState& state,
+                                             const SolveRequest& request,
+                                             const CancelScope& scope) {
+  StatusOr<SolveResult> result =
+      request.algorithm == AlgorithmId::kAteuc
+          ? RunAteucRequest(state, request, scope)
+          : request.algorithm == AlgorithmId::kBisection
+                ? RunBisectionRequest(state, request, scope)
+                : RunAdaptive(state, request, scope);
+  if (result.ok()) {
+    result->graph_name = state.ref.name;
+    result->graph_epoch = state.ref.epoch;
   }
-  if (request.algorithm == AlgorithmId::kBisection) {
-    return RunBisectionRequest(request, scope);
-  }
-  return RunAdaptive(request, scope);
+  return result;
 }
 
 void SeedMinEngine::EnsureDrivers() {
@@ -136,8 +327,7 @@ void SeedMinEngine::EnsureDrivers() {
 void SeedMinEngine::DriverLoop() {
   AdmissionTask task;
   while (queue_->Pop(task)) {
-    task(/*aborted=*/false);
-    queue_->Complete();
+    queue_->Complete(task(/*aborted=*/false));
     task = nullptr;  // release the closure before blocking in Pop again
   }
 }
@@ -148,9 +338,17 @@ std::future<StatusOr<SolveResult>> SeedMinEngine::Submit(
   pending->request = std::move(request);
   std::future<StatusOr<SolveResult>> future = pending->promise.get_future();
 
-  // Fast-fail on the caller's thread: invalid requests and dead-on-arrival
-  // deadlines/cancellations never consume admission capacity.
-  const Status invalid = Validate(pending->request);
+  // Resolution + fast-fail on the caller's thread: unknown graph names,
+  // invalid requests and dead-on-arrival deadlines/cancellations never
+  // consume admission capacity. A successfully resolved request pins its
+  // snapshot HERE — a catalog Swap/Retire between admission and execution
+  // does not touch it.
+  auto state = ResolveGraph(pending->request.graph);
+  if (!state.ok()) {
+    pending->promise.set_value(state.status());
+    return future;
+  }
+  const Status invalid = ValidateAgainst(pending->request, (*state)->ref.graph());
   if (!invalid.ok()) {
     pending->promise.set_value(invalid);
     return future;
@@ -163,26 +361,41 @@ std::future<StatusOr<SolveResult>> SeedMinEngine::Submit(
   }
 
   EnsureDrivers();
-  AdmissionTask task = [this, pending](bool aborted) {
+  pending->slot = ServingSlot(std::move(*state));
+  AdmissionTask task = [this, pending](bool aborted) -> AdmissionOutcome {
     if (aborted) {
       pending->promise.set_value(
           Status::Cancelled("engine destroyed before the request executed"));
-      return;
+      return AdmissionOutcome::kCancelledInQueue;
     }
-    // Solve re-checks the deadline/cancel scope on entry, so a request
-    // whose deadline expired while queued resolves promptly without
-    // touching the sampling pool.
-    pending->promise.set_value(Solve(pending->request));
+    // Re-check the deadline/cancel scope at pickup: a request whose
+    // deadline expired (or token fired) while it waited resolves promptly
+    // without touching the sampling pool, and is accounted as an in-queue
+    // death rather than executed work.
+    const CancelScope run_scope(pending->request.cancel, pending->request.deadline);
+    const Status dead = run_scope.ToStatus();
+    if (!dead.ok()) {
+      const AdmissionOutcome outcome = dead.code() == StatusCode::kDeadlineExceeded
+                                           ? AdmissionOutcome::kDeadlineInQueue
+                                           : AdmissionOutcome::kCancelledInQueue;
+      pending->promise.set_value(dead);
+      return outcome;
+    }
+    pending->promise.set_value(
+        SolveOn(*pending->slot.state(), pending->request, run_scope));
+    return AdmissionOutcome::kExecuted;
   };
   switch (queue_->Admit(std::move(task), policy)) {
     case AdmissionQueue::AdmitResult::kAdmitted:
       break;
     case AdmissionQueue::AdmitResult::kRejected:
+      pending->slot.Dismiss();
       pending->promise.set_value(Status::ResourceExhausted(
           "admission queue full (" + std::to_string(queue_->capacity()) +
           " in flight); retry later or raise max_queue_depth/num_drivers"));
       break;
     case AdmissionQueue::AdmitResult::kClosed:
+      pending->slot.Dismiss();
       pending->promise.set_value(
           Status::Cancelled("engine is shutting down; request not admitted"));
       break;
@@ -211,10 +424,12 @@ std::vector<StatusOr<SolveResult>> SeedMinEngine::SolveBatch(
   return results;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request,
+StatusOr<SolveResult> SeedMinEngine::RunAdaptive(GraphState& state,
+                                                 const SolveRequest& request,
                                                  const CancelScope& scope) {
+  const DirectedGraph& graph = state.ref.graph();
   AlgorithmContext ctx;
-  ctx.graph = graph_;
+  ctx.graph = &graph;
   ctx.model = request.model;
   ctx.epsilon = request.epsilon;
   ctx.batch_size = request.batch_size;
@@ -227,7 +442,7 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request,
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
   for (size_t run = 0; run < request.realizations; ++run) {
-    AdaptiveWorld world(*graph_, request.eta, HiddenRealization(*graph_, request, run));
+    AdaptiveWorld world(graph, request.eta, HiddenRealization(graph, request, run));
     // Selector RNG stream is independent of the hidden world.
     Rng selector_rng =
         StreamFor(request.seed,
@@ -238,7 +453,7 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request,
     AdaptiveRunTrace trace = RunAdaptivePolicy(world, **selector, selector_rng, &scope);
     // A fired scope means the trace is partial: discard everything and
     // answer with the stop verdict (completed results stay pure functions
-    // of (graph, request) — no partial data ever leaks out).
+    // of (graph snapshot, request) — no partial data ever leaks out).
     ASM_RETURN_NOT_OK(scope.ToStatus());
     result.spreads.push_back(static_cast<double>(trace.total_activated));
     result.seed_counts.push_back(trace.NumSeeds());
@@ -250,20 +465,22 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(const SolveRequest& request,
 
 // Evaluates a one-shot (non-adaptive) seed set on the shared hidden
 // realizations; `select_seconds` / `num_samples` describe the selection.
-// Polls the scope per realization (a hidden-world sample + forward
-// simulation is the natural chunk here); callers discard the partial
-// result when the scope fired.
-SolveResult SeedMinEngine::EvaluateOneShot(const SolveRequest& request,
+// Borrows per-graph forward-simulation scratch from the state's free list
+// (reused across requests on this epoch's snapshot). Polls the scope per
+// realization (a hidden-world sample + forward simulation is the natural
+// chunk here); callers discard the partial result when the scope fired.
+SolveResult SeedMinEngine::EvaluateOneShot(GraphState& state, const SolveRequest& request,
                                            const std::vector<NodeId>& seeds,
                                            double select_seconds, size_t num_samples,
                                            const CancelScope& scope) {
+  const DirectedGraph& graph = state.ref.graph();
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
-  ForwardSimulator simulator(*graph_);
+  std::unique_ptr<ForwardSimulator> simulator = state.BorrowSimulator();
   for (size_t run = 0; run < request.realizations; ++run) {
     if (scope.ShouldStop()) break;
-    const Realization hidden = HiddenRealization(*graph_, request, run);
-    const size_t spread = simulator.Spread(hidden, seeds);
+    const Realization hidden = HiddenRealization(graph, request, run);
+    const size_t spread = simulator->Spread(hidden, seeds);
     AdaptiveRunTrace trace;
     trace.eta = request.eta;
     trace.seeds = seeds;
@@ -275,11 +492,13 @@ SolveResult SeedMinEngine::EvaluateOneShot(const SolveRequest& request,
     result.seed_counts.push_back(seeds.size());
     traces.push_back(std::move(trace));
   }
+  state.ReturnSimulator(std::move(simulator));
   FinishResult(request, std::move(traces), result);
   return result;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(const SolveRequest& request,
+StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(GraphState& state,
+                                                     const SolveRequest& request,
                                                      const CancelScope& scope) {
   Rng select_rng = StreamFor(request.seed, kAteucDomain, 0);
   AteucOptions options;
@@ -288,16 +507,18 @@ StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(const SolveRequest& request
   options.cancel = &scope;
   WallTimer select_timer;
   const AteucResult selection =
-      RunAteuc(*graph_, request.model, request.eta, options, select_rng);
+      RunAteuc(state.ref.graph(), request.model, request.eta, options, select_rng);
   ASM_RETURN_NOT_OK(scope.ToStatus());  // partial selection: discard
-  SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
-                                       selection.num_samples, scope);
+  SolveResult result = EvaluateOneShot(state, request, selection.seeds,
+                                       select_timer.Seconds(), selection.num_samples,
+                                       scope);
   ASM_RETURN_NOT_OK(scope.ToStatus());  // partial evaluation: discard
   result.algorithm_name = "ATEUC";
   return result;
 }
 
-StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(const SolveRequest& request,
+StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(GraphState& state,
+                                                         const SolveRequest& request,
                                                          const CancelScope& scope) {
   Rng select_rng = StreamFor(request.seed, kBisectionDomain, 0);
   BisectionOptions options;
@@ -305,11 +526,12 @@ StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(const SolveRequest& req
   options.pool = pool_.get();
   options.cancel = &scope;
   WallTimer select_timer;
-  const BisectionResult selection =
-      RunBisectionSeedMin(*graph_, request.model, request.eta, options, select_rng);
+  const BisectionResult selection = RunBisectionSeedMin(
+      state.ref.graph(), request.model, request.eta, options, select_rng);
   ASM_RETURN_NOT_OK(scope.ToStatus());  // partial selection: discard
-  SolveResult result = EvaluateOneShot(request, selection.seeds, select_timer.Seconds(),
-                                       selection.num_samples, scope);
+  SolveResult result = EvaluateOneShot(state, request, selection.seeds,
+                                       select_timer.Seconds(), selection.num_samples,
+                                       scope);
   ASM_RETURN_NOT_OK(scope.ToStatus());  // partial evaluation: discard
   result.algorithm_name = "Bisection";
   return result;

@@ -1,12 +1,27 @@
-// SeedMinEngine — the one façade over every seed-minimization algorithm.
+// SeedMinEngine — the one façade over every seed-minimization algorithm,
+// serving many catalog graphs from one resident process.
 //
-// A resident engine owns a DirectedGraph reference, one shared ThreadPool,
-// and an admission-controlled serving core, and serves uniform
-// SolveRequests: validation at the API boundary (Status::InvalidArgument
-// instead of CHECK-crashes), selector construction through
-// AlgorithmRegistry, the §6 evaluation protocol (hidden realizations
-// shared across algorithms for a given seed), and per-request
-// deadlines/cancellation (Status::DeadlineExceeded / Status::Cancelled).
+// A resident engine fronts a GraphCatalog (many named, immutable,
+// hot-swappable graph snapshots), owns one shared ThreadPool and an
+// admission-controlled serving core, and serves uniform SolveRequests:
+// per-request graph routing (request.graph resolved against the catalog
+// at admission — Status::NotFound for unknown names, InvalidArgument for
+// requests that leave the name empty), validation at the API boundary
+// (Status::InvalidArgument instead of CHECK-crashes), selector
+// construction through AlgorithmRegistry, the §6 evaluation protocol
+// (hidden realizations shared across algorithms for a given seed), and
+// per-request deadlines/cancellation (Status::DeadlineExceeded /
+// Status::Cancelled).
+//
+// Multi-tenancy model: the request pins its GraphRef snapshot from
+// admission to resolution, so a concurrent GraphCatalog::Swap (new epoch)
+// or Retire never invalidates executing work — requests admitted before
+// the swap complete bit-identically on their pinned old-epoch snapshot.
+// Per-graph serving state (lazily built scratch reused across requests,
+// keyed by (name, epoch) so a swap starts fresh) and per-graph
+// inflight/completed accounting live behind one engine-wide pool and one
+// admission queue; admission_stats() reports both the queue's per-outcome
+// counters and the per-graph serving counters.
 //
 // Concurrency model: Solve runs on the caller's thread and fans sampling/
 // coverage work onto the shared pool. SubmitAsync admits the request into
@@ -19,31 +34,35 @@
 // *completed* results are bit-identical — in every field except the
 // wall-clock timings (trace seconds, aggregate mean_seconds), which
 // measure the run that produced them — whether a request runs solo, in
-// SolveBatch, queued behind other requests, or interleaved with other
-// clients, at any pool size != 1 (pool size 1 uses the sequential
-// reference sampling path, which is deterministic too but follows the
-// paper's in-place stream protocol). See src/api/README.md.
+// SolveBatch, queued behind other requests, or interleaved with requests
+// against other catalog graphs, at any pool size != 1 (pool size 1 uses
+// the sequential reference sampling path, which is deterministic too but
+// follows the paper's in-place stream protocol). See src/api/README.md.
 
 #pragma once
 
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/admission_queue.h"
+#include "api/graph_catalog.h"
 #include "api/request.h"
-#include "graph/graph.h"
 #include "parallel/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
 namespace asti {
 
-/// Resident query engine over one graph, one worker pool, and one
-/// admission queue.
+class ForwardSimulator;
+
+/// Resident multi-tenant query engine over one graph catalog, one worker
+/// pool, and one admission queue.
 class SeedMinEngine {
  public:
   struct Options {
@@ -71,9 +90,31 @@ class SeedMinEngine {
     bool block_when_full = false;
   };
 
-  /// The graph must outlive the engine.
-  explicit SeedMinEngine(const DirectedGraph& graph) : SeedMinEngine(graph, Options{}) {}
-  SeedMinEngine(const DirectedGraph& graph, Options options);
+  /// Per-graph serving counters, part of admission_stats(): one row per
+  /// graph with live serving state, newest catalog epoch the engine has
+  /// resolved for it.
+  struct GraphServingStats {
+    std::string name;
+    uint64_t epoch = 0;
+    /// Requests currently pinned to this graph (admitted or executing,
+    /// futures not yet resolved).
+    size_t inflight = 0;
+    /// Requests served to resolution against this graph since the engine
+    /// first saw it (any verdict; rejected-at-admission never counts).
+    size_t completed = 0;
+  };
+
+  /// The serving front's observability snapshot: the admission queue's
+  /// per-outcome counters plus the per-graph routing/inflight view.
+  struct EngineStats {
+    AdmissionQueue::Stats queue;
+    std::vector<GraphServingStats> graphs;  // name order
+  };
+
+  /// The catalog must outlive the engine (and every outstanding future).
+  /// The engine never copies graphs out of it — requests pin snapshots.
+  explicit SeedMinEngine(GraphCatalog& catalog) : SeedMinEngine(catalog, Options{}) {}
+  SeedMinEngine(GraphCatalog& catalog, Options options);
 
   /// Destruction with requests still in the system: requests a driver is
   /// already executing DRAIN (run to completion, futures resolve normally);
@@ -82,43 +123,81 @@ class SeedMinEngine {
   /// rejected. Callers must not race new submissions against destruction.
   ~SeedMinEngine();
 
-  const DirectedGraph& graph() const { return *graph_; }
+  GraphCatalog& catalog() { return *catalog_; }
 
   /// The shared pool, or nullptr in sequential mode.
   ThreadPool* pool() { return pool_.get(); }
 
-  /// Admission counters (admitted / rejected / completed since
-  /// construction) — the serving front's observability hook.
-  AdmissionQueue::Stats admission_stats() const { return queue_->stats(); }
+  /// Admission counters (per-outcome, since construction) plus per-graph
+  /// serving counters — the serving front's observability hook.
+  EngineStats admission_stats() const;
 
-  /// Checks every request field against the graph; OK iff Solve would run
+  /// Checks every request field — including that request.graph resolves in
+  /// the catalog — against the named graph; OK iff Solve would run
   /// (deadline/cancellation state is not consulted — a valid request may
   /// still come back Cancelled or DeadlineExceeded).
   Status Validate(const SolveRequest& request) const;
 
   /// Serves one request synchronously on the caller's thread, bypassing
-  /// admission (the caller's thread is the concurrency bound). Honors
-  /// request.deadline and request.cancel.
+  /// admission (the caller's thread is the concurrency bound). Resolves
+  /// and pins the graph snapshot on entry; honors request.deadline and
+  /// request.cancel.
   StatusOr<SolveResult> Solve(const SolveRequest& request);
 
   /// Admits one request into the bounded queue; a driver thread executes
-  /// it (sampling still fans out to the shared pool). The future resolves
-  /// to the same StatusOr Solve would return, or to ResourceExhausted when
-  /// admission is full (never blocks unless Options::block_when_full), or
-  /// to Cancelled when the engine is destroyed before execution starts.
-  /// Invalid requests and already-expired deadlines resolve immediately
-  /// without consuming admission capacity. The engine (and its graph) must
+  /// it (sampling still fans out to the shared pool). The graph name is
+  /// resolved — and its snapshot pinned — here, at admission: a Swap or
+  /// Retire of the name after SubmitAsync returns does not affect this
+  /// request. The future resolves to the same StatusOr Solve would return,
+  /// or to ResourceExhausted when admission is full (never blocks unless
+  /// Options::block_when_full), or to Cancelled when the engine is
+  /// destroyed before execution starts. Invalid requests, unknown graph
+  /// names, and already-expired deadlines resolve immediately without
+  /// consuming admission capacity. The engine (and its catalog) must
   /// outlive every outstanding future.
   std::future<StatusOr<SolveResult>> SubmitAsync(SolveRequest request);
 
   /// Serves a batch through the admission queue with *blocking* admission
   /// (never rejects; the calling thread waits for slots) and gathers the
   /// results in request order. result[i] is bit-identical to
-  /// Solve(requests[i]) run solo.
+  /// Solve(requests[i]) run solo. Requests in one batch may target
+  /// different catalog graphs.
   std::vector<StatusOr<SolveResult>> SolveBatch(std::span<const SolveRequest> requests);
 
  private:
+  struct GraphCounters;
+  struct GraphState;
   struct PendingRequest;
+
+  /// RAII per-graph accounting: inflight while engaged, completed on
+  /// release (unless dismissed — the rejected-at-admission path).
+  class ServingSlot {
+   public:
+    ServingSlot() = default;
+    explicit ServingSlot(std::shared_ptr<GraphState> state);
+    ServingSlot(ServingSlot&& other) noexcept;
+    ServingSlot& operator=(ServingSlot&& other) noexcept;
+    ServingSlot(const ServingSlot&) = delete;
+    ServingSlot& operator=(const ServingSlot&) = delete;
+    ~ServingSlot();
+
+    /// Undoes the inflight count without marking completion (the request
+    /// never entered the system).
+    void Dismiss();
+
+    GraphState* state() const { return state_.get(); }
+
+   private:
+    std::shared_ptr<GraphState> state_;
+  };
+
+  /// Resolves request.graph to this engine's pinned per-graph state:
+  /// InvalidArgument for an empty name, NotFound for names the catalog
+  /// doesn't hold. Revalidates cached state against the catalog version
+  /// (a swapped name gets fresh state keyed by the new epoch; retired
+  /// names are dropped so their snapshots can be freed).
+  StatusOr<std::shared_ptr<GraphState>> ResolveGraph(const std::string& name);
+  void PruneStatesLocked(uint64_t catalog_version);
 
   /// Spawns the driver threads on first use.
   void EnsureDrivers();
@@ -126,22 +205,37 @@ class SeedMinEngine {
   std::future<StatusOr<SolveResult>> Submit(SolveRequest request,
                                             AdmissionQueue::AdmitPolicy policy);
 
-  StatusOr<SolveResult> RunAdaptive(const SolveRequest& request,
+  /// The one execution path: runs `request` against the pinned snapshot in
+  /// `state` (both Solve and the driver tasks land here).
+  StatusOr<SolveResult> SolveOn(GraphState& state, const SolveRequest& request,
+                                const CancelScope& scope);
+  Status ValidateAgainst(const SolveRequest& request, const DirectedGraph& graph) const;
+
+  StatusOr<SolveResult> RunAdaptive(GraphState& state, const SolveRequest& request,
                                     const CancelScope& scope);
-  StatusOr<SolveResult> RunAteucRequest(const SolveRequest& request,
+  StatusOr<SolveResult> RunAteucRequest(GraphState& state, const SolveRequest& request,
                                         const CancelScope& scope);
-  StatusOr<SolveResult> RunBisectionRequest(const SolveRequest& request,
+  StatusOr<SolveResult> RunBisectionRequest(GraphState& state,
+                                            const SolveRequest& request,
                                             const CancelScope& scope);
-  SolveResult EvaluateOneShot(const SolveRequest& request,
+  SolveResult EvaluateOneShot(GraphState& state, const SolveRequest& request,
                               const std::vector<NodeId>& seeds, double select_seconds,
                               size_t num_samples, const CancelScope& scope);
 
-  const DirectedGraph* graph_;
+  GraphCatalog* catalog_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // engaged when num_threads != 1
   std::unique_ptr<AdmissionQueue> queue_;
   std::once_flag drivers_once_;
   std::vector<std::thread> drivers_;
+
+  /// Lazily-built serving state per graph name, revalidated against the
+  /// catalog version. Entries pin their snapshot while cached; in-flight
+  /// requests hold their own shared_ptr, so dropping an entry here never
+  /// pulls a snapshot out from under executing work.
+  mutable std::mutex states_mutex_;
+  std::map<std::string, std::shared_ptr<GraphState>> graph_states_;
+  uint64_t catalog_version_seen_ = 0;
 };
 
 }  // namespace asti

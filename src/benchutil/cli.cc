@@ -92,6 +92,17 @@ std::vector<size_t> ParseSizeList(const std::string& spec, const char* flag,
   return counts;
 }
 
+std::vector<std::string> ParseNameList(const std::string& spec, const char* flag) {
+  std::vector<std::string> names;
+  std::stringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) names.push_back(token);
+  }
+  ASM_CHECK(!names.empty()) << "empty " << flag << " list";
+  return names;
+}
+
 void ApplyRequestOverrides(const CommandLine& cli, SolveRequest& request) {
   request.epsilon = cli.GetDouble("epsilon", request.epsilon);
   request.seed = static_cast<uint64_t>(

@@ -51,4 +51,9 @@ void ApplyRequestOverrides(const CommandLine& cli, SolveRequest& request);
 std::vector<size_t> ParseSizeList(const std::string& spec, const char* flag,
                                   size_t min_value = 0);
 
+/// Parses a comma-separated name list ("nethept,epinions") for routing
+/// flags like --graphs. Skips empty tokens; crashes with a message naming
+/// `flag` when the list ends up empty.
+std::vector<std::string> ParseNameList(const std::string& spec, const char* flag);
+
 }  // namespace asti

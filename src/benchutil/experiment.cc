@@ -18,8 +18,14 @@ SolveRequest CellConfig::ToRequest() const {
 }
 
 CellResult RunCell(const DirectedGraph& graph, const CellConfig& config) {
-  SeedMinEngine engine(graph, {config.num_threads});
-  StatusOr<SolveResult> result = engine.Solve(config.ToRequest());
+  // A scoped single-graph catalog: the synchronous call guarantees the
+  // caller's graph outlives the borrowed snapshot.
+  GraphCatalog catalog;
+  ASM_CHECK(catalog.Register(kRunCellGraphName, BorrowSnapshot(graph)).ok());
+  SeedMinEngine engine(catalog, {config.num_threads});
+  SolveRequest request = config.ToRequest();
+  request.graph = kRunCellGraphName;
+  StatusOr<SolveResult> result = engine.Solve(request);
   ASM_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }

@@ -2,13 +2,16 @@
 //
 // One "cell" of the paper's plots is (dataset, model, η, algorithm)
 // averaged over R hidden realizations. RunCell executes exactly that by
-// delegating to the SeedMinEngine façade (src/api/): adaptive algorithms
-// re-run their select-observe loop per realization; ATEUC selects once and
-// is evaluated on the same realizations. The R hidden realizations are
-// derived from the run seed only, so every algorithm faces identical
-// worlds (the paper's §6 protocol). AlgorithmId and the selector
-// construction live in api/algorithm_registry.h; this header keeps the
-// bench-facing CellConfig spelling.
+// delegating to the SeedMinEngine façade (src/api/): the caller's graph
+// is registered as a borrowed snapshot in a throwaway GraphCatalog (the
+// engine serves catalog graphs only — the raw-graph engine binding is
+// gone), adaptive algorithms re-run their select-observe loop per
+// realization, and ATEUC selects once and is evaluated on the same
+// realizations. The R hidden realizations are derived from the run seed
+// only, so every algorithm faces identical worlds (the paper's §6
+// protocol). AlgorithmId and the selector construction live in
+// api/algorithm_registry.h; this header keeps the bench-facing CellConfig
+// spelling.
 
 #pragma once
 
@@ -42,9 +45,14 @@ struct CellConfig {
   SolveRequest ToRequest() const;
 };
 
-/// Runs one cell on `graph` through a per-call engine. Crashes (legacy
-/// harness contract) on configs the engine rejects; call
-/// SeedMinEngine::Solve directly for Status-returning validation.
+/// The catalog name RunCell registers its borrowed snapshot under (the
+/// per-call engine serves exactly this one graph).
+inline constexpr const char* kRunCellGraphName = "cell";
+
+/// Runs one cell on `graph` through a per-call engine over a throwaway
+/// single-graph catalog. Crashes (legacy harness contract) on configs the
+/// engine rejects; call SeedMinEngine::Solve directly for
+/// Status-returning validation.
 CellResult RunCell(const DirectedGraph& graph, const CellConfig& config);
 
 /// Improvement ratio of ATEUC over ASTI in seed count: extra seeds ATEUC

@@ -1,5 +1,6 @@
 #include "benchutil/sweep.h"
 
+#include "api/graph_catalog.h"
 #include "benchutil/cli.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -16,17 +17,27 @@ std::vector<double> EtaFractionsFor(DatasetId dataset) {
 std::vector<SweepCell> RunEvaluationSweep(
     const SweepOptions& options,
     const std::function<void(const SweepCell&)>& progress) {
+  // One catalog holding every dataset surrogate, one resident multi-tenant
+  // engine (and pool) serving the whole grid: requests are routed per
+  // cell by graph name, exactly the serving posture the catalog exists for.
+  GraphCatalog catalog;
+  for (DatasetId dataset : options.datasets) {
+    auto registered =
+        RegisterSurrogate(catalog, dataset, options.scale, options.base.seed);
+    ASM_CHECK(registered.ok()) << registered.status().ToString();
+  }
+  SeedMinEngine engine(catalog, {options.num_threads});
+
   std::vector<SweepCell> cells;
   for (DatasetId dataset : options.datasets) {
-    auto graph = MakeSurrogateDataset(dataset, options.scale, options.base.seed);
-    ASM_CHECK(graph.ok()) << graph.status().ToString();
-    // One resident engine (and pool) per dataset serves every grid point.
-    SeedMinEngine engine(*graph, {options.num_threads});
+    const auto ref = catalog.Get(CanonicalDatasetName(dataset));
+    ASM_CHECK(ref.ok()) << ref.status().ToString();
     for (double eta_fraction : EtaFractionsFor(dataset)) {
       const NodeId eta = std::max<NodeId>(
-          1, static_cast<NodeId>(eta_fraction * graph->NumNodes()));
+          1, static_cast<NodeId>(eta_fraction * ref->num_nodes));
       for (AlgorithmId algorithm : options.algorithms) {
         SolveRequest request = options.base;
+        request.graph = ref->name;
         request.algorithm = algorithm;
         request.eta = eta;
         StatusOr<SolveResult> result = engine.Solve(request);

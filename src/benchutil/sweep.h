@@ -4,9 +4,10 @@
 // surrogates, the large-η grid η/n ∈ {.01, .05, .1, .15, .2} (LiveJournal
 // uses the small grid {.01...05}, §6.1), and the six algorithms of the
 // paper — differing only in which metric they print. RunEvaluationSweep
-// builds one SeedMinEngine per dataset and issues one SolveRequest per
-// grid point: model/ε/realizations/seed flow through the `base` request
-// (one struct, not per-algorithm plumbing), with algorithm and η
+// registers every dataset in one GraphCatalog, stands up ONE multi-tenant
+// SeedMinEngine over it, and issues one SolveRequest per grid point:
+// model/ε/realizations/seed flow through the `base` request (one struct,
+// not per-algorithm plumbing), with graph name, algorithm and η
 // overwritten per cell.
 
 #pragma once
@@ -22,8 +23,14 @@ namespace asti {
 /// Grid configuration shared by the figure benches.
 struct SweepOptions {
   /// Per-cell request template: model, ε, realizations, seed, keep_traces.
-  /// `algorithm` and `eta` are overwritten at every grid point.
-  SolveRequest base{.epsilon = 0.5, .realizations = 2, .seed = 7};
+  /// `graph`, `algorithm` and `eta` are overwritten at every grid point.
+  SolveRequest base = [] {
+    SolveRequest request;
+    request.epsilon = 0.5;
+    request.realizations = 2;
+    request.seed = 7;
+    return request;
+  }();
   std::vector<AlgorithmId> algorithms = {
       AlgorithmId::kAsti,    AlgorithmId::kAsti2, AlgorithmId::kAsti4,
       AlgorithmId::kAsti8,   AlgorithmId::kAdaptIm, AlgorithmId::kAteuc};

@@ -39,6 +39,13 @@ StatusOr<DatasetId> DatasetIdFromName(const std::string& name) {
   return Status::NotFound("no dataset named '" + name + "'");
 }
 
+std::string CanonicalDatasetName(DatasetId id) {
+  std::string name = GetDatasetInfo(id).name;
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return name;
+}
+
 namespace {
 
 // Mirrors every edge, producing an undirected structure (paper transforms

@@ -43,6 +43,11 @@ const DatasetInfo& GetDatasetInfo(DatasetId id);
 /// Lookup by case-insensitive name ("nethept", "epinions", ...).
 StatusOr<DatasetId> DatasetIdFromName(const std::string& name);
 
+/// The lowercase serving name a dataset registers under in a GraphCatalog
+/// ("nethept", "epinions", "youtube", "livejournal") — the inverse of
+/// DatasetIdFromName for the canonical spelling.
+std::string CanonicalDatasetName(DatasetId id);
+
 /// Builds the surrogate graph. Deterministic given (id, scale, seed).
 /// The weight scheme defaults to the paper's weighted-cascade setting.
 StatusOr<DirectedGraph> MakeSurrogateDataset(

@@ -1,10 +1,12 @@
 // Admission-control edge cases for the SeedMinEngine serving core: the
 // bounded queue's accept-to-complete accounting, burst rejection pinned to
-// exactly k ResourceExhausted answers, deadlines (expired at submit,
-// expired while queued), cooperative cancellation mid-sampling and
-// mid-coverage, engine destruction with queued requests (abort-queued /
-// drain-executing), and blocking admission. The determinism pins
-// (queued/interleaved == solo at every pool size) live in engine_test.
+// exactly k ResourceExhausted answers, per-outcome counters (accepted /
+// rejected / cancelled_in_queue / deadline_in_queue), deadlines (expired
+// at submit, expired while queued), cooperative cancellation mid-sampling
+// and mid-coverage, engine destruction with queued requests (abort-queued
+// / drain-executing), and blocking admission. The determinism pins
+// (queued/interleaved/cross-graph == solo at every pool size) live in
+// engine_test.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "api/admission_queue.h"
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "coverage/lazy_greedy.h"
 #include "coverage/max_coverage.h"
@@ -38,6 +41,7 @@ TEST(AdmissionQueueTest, CountsAdmitToCompleteNotAdmitToDequeue) {
   int runs = 0;
   AdmissionTask task = [&runs](bool aborted) {
     if (!aborted) ++runs;
+    return AdmissionOutcome::kExecuted;
   };
   EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
   EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
@@ -48,8 +52,7 @@ TEST(AdmissionQueueTest, CountsAdmitToCompleteNotAdmitToDequeue) {
   AdmissionTask got;
   ASSERT_TRUE(queue.Pop(got));
   EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kRejected);
-  got(/*aborted=*/false);
-  queue.Complete();
+  queue.Complete(got(/*aborted=*/false));
   EXPECT_EQ(runs, 1);
   EXPECT_EQ(queue.Admit(task, AdmitPolicy::kReject), AdmitResult::kAdmitted);
   EXPECT_EQ(queue.InFlight(), 2u);
@@ -61,14 +64,36 @@ TEST(AdmissionQueueTest, CountsAdmitToCompleteNotAdmitToDequeue) {
   EXPECT_FALSE(queue.Pop(none));
 
   const AdmissionQueue::Stats stats = queue.stats();
-  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.accepted, 3u);
   EXPECT_EQ(stats.rejected, 2u);
   EXPECT_EQ(stats.completed, 1u);
 }
 
+// Complete() splits by outcome: items that died waiting (queue-abort,
+// token fired, deadline passed) are distinguishable from executed work.
+TEST(AdmissionQueueTest, PerOutcomeCountersSplitCompletions) {
+  AdmissionQueue queue(4);
+  AdmissionTask noop = [](bool) { return AdmissionOutcome::kExecuted; };
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Admit(noop, AdmitPolicy::kReject), AdmitResult::kAdmitted);
+  }
+  queue.Complete(AdmissionOutcome::kExecuted);
+  queue.Complete(AdmissionOutcome::kCancelledInQueue);
+  queue.Complete(AdmissionOutcome::kDeadlineInQueue);
+  queue.Complete(AdmissionOutcome::kCancelledInQueue);
+
+  const AdmissionQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed, 4u);  // every accepted item completes exactly once
+  EXPECT_EQ(stats.cancelled_in_queue, 2u);
+  EXPECT_EQ(stats.deadline_in_queue, 1u);
+  EXPECT_EQ(queue.InFlight(), 0u);
+}
+
 TEST(AdmissionQueueTest, CloseWakesBlockedProducer) {
   AdmissionQueue queue(1);
-  AdmissionTask noop = [](bool) {};
+  AdmissionTask noop = [](bool) { return AdmissionOutcome::kExecuted; };
   ASSERT_EQ(queue.Admit(noop, AdmitPolicy::kReject), AdmitResult::kAdmitted);
   std::thread producer([&queue, &noop] {
     EXPECT_EQ(queue.Admit(noop, AdmitPolicy::kBlock), AdmitResult::kClosed);
@@ -88,18 +113,20 @@ class AdmissionTest : public ::testing::Test {
     auto small = BuildWeightedGraph(MakeBarabasiAlbert(220, 2, small_rng),
                                     WeightScheme::kWeightedCascade);
     ASSERT_TRUE(small.ok());
-    small_ = std::make_unique<DirectedGraph>(std::move(small).value());
+    ASSERT_TRUE(catalog_.Register("small", std::move(small).value()).ok());
 
     Rng heavy_rng(302);
     auto heavy = BuildWeightedGraph(MakeChungLu(3000, 18000, 2.1, heavy_rng),
                                     WeightScheme::kWeightedCascade);
     ASSERT_TRUE(heavy.ok());
-    heavy_ = std::make_unique<DirectedGraph>(std::move(heavy).value());
+    heavy_nodes_ = heavy->NumNodes();
+    ASSERT_TRUE(catalog_.Register("heavy", std::move(heavy).value()).ok());
   }
 
   // Finishes in milliseconds — the load for throttling/ordering tests.
   SolveRequest SmallRequest(uint64_t seed) const {
     SolveRequest request;
+    request.graph = "small";
     request.eta = 25;
     request.seed = seed;
     return request;
@@ -111,7 +138,8 @@ class AdmissionTest : public ::testing::Test {
   // them long before they would finish.
   SolveRequest HeavyRequest(uint64_t seed, const CancelToken* cancel) const {
     SolveRequest request;
-    request.eta = static_cast<NodeId>(heavy_->NumNodes() / 2);
+    request.graph = "heavy";
+    request.eta = static_cast<NodeId>(heavy_nodes_ / 2);
     request.epsilon = 0.1;
     request.realizations = 50;
     request.seed = seed;
@@ -119,8 +147,8 @@ class AdmissionTest : public ::testing::Test {
     return request;
   }
 
-  std::unique_ptr<DirectedGraph> small_;
-  std::unique_ptr<DirectedGraph> heavy_;
+  GraphCatalog catalog_;
+  NodeId heavy_nodes_ = 0;
 };
 
 // The acceptance pin: with D drivers and Q queue slots, a burst of
@@ -140,13 +168,18 @@ TEST_F(AdmissionTest, BurstBeyondCapacityYieldsExactlyKRejections) {
     SeedMinEngine::Options options;
     options.num_drivers = kDrivers;
     options.max_queue_depth = kQueueDepth;
-    SeedMinEngine engine(*heavy_, options);
+    SeedMinEngine engine(catalog_, options);
     for (size_t i = 0; i < kCapacity + kOverflow; ++i) {
       futures.push_back(engine.SubmitAsync(HeavyRequest(100 + i, &cancel)));
     }
-    const AdmissionQueue::Stats stats = engine.admission_stats();
-    EXPECT_EQ(stats.admitted, kCapacity);
-    EXPECT_EQ(stats.rejected, kOverflow);
+    const SeedMinEngine::EngineStats stats = engine.admission_stats();
+    EXPECT_EQ(stats.queue.accepted, kCapacity);
+    EXPECT_EQ(stats.queue.rejected, kOverflow);
+    // Rejected requests never pin the graph: only admitted ones count as
+    // inflight against 'heavy'.
+    ASSERT_EQ(stats.graphs.size(), 1u);
+    EXPECT_EQ(stats.graphs[0].name, "heavy");
+    EXPECT_EQ(stats.graphs[0].inflight, kCapacity);
 
     // Unwind the admitted requests so the test (and engine teardown)
     // finishes promptly instead of solving 5 heavy instances.
@@ -165,7 +198,7 @@ TEST_F(AdmissionTest, BurstBeyondCapacityYieldsExactlyKRejections) {
 }
 
 TEST_F(AdmissionTest, DeadlineExpiredAtSubmitResolvesWithoutExecuting) {
-  SeedMinEngine engine(*small_);
+  SeedMinEngine engine(catalog_);
   SolveRequest request = SmallRequest(7);
   request.deadline = DeadlineAfter(-0.5);
 
@@ -178,12 +211,15 @@ TEST_F(AdmissionTest, DeadlineExpiredAtSubmitResolvesWithoutExecuting) {
   const auto via_async = future.get();
   ASSERT_FALSE(via_async.ok());
   EXPECT_EQ(via_async.status().code(), StatusCode::kDeadlineExceeded);
-  // Dead-on-arrival requests never consume admission capacity.
-  EXPECT_EQ(engine.admission_stats().admitted, 0u);
+  // Dead-on-arrival requests never consume admission capacity, and the
+  // in-queue death counters stay untouched (nothing was ever queued).
+  const SeedMinEngine::EngineStats stats = engine.admission_stats();
+  EXPECT_EQ(stats.queue.accepted, 0u);
+  EXPECT_EQ(stats.queue.deadline_in_queue, 0u);
 }
 
 TEST_F(AdmissionTest, PreCancelledTokenResolvesWithoutExecuting) {
-  SeedMinEngine engine(*small_);
+  SeedMinEngine engine(catalog_);
   CancelToken cancel;
   cancel.Cancel();
   SolveRequest request = SmallRequest(7);
@@ -192,15 +228,19 @@ TEST_F(AdmissionTest, PreCancelledTokenResolvesWithoutExecuting) {
   const auto result = future.get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
-  EXPECT_EQ(engine.admission_stats().admitted, 0u);
+  const SeedMinEngine::EngineStats stats = engine.admission_stats();
+  EXPECT_EQ(stats.queue.accepted, 0u);
+  EXPECT_EQ(stats.queue.cancelled_in_queue, 0u);
 }
 
 // A request admitted with a live deadline that expires while it waits
-// behind a slow request comes back DeadlineExceeded without executing.
+// behind a slow request comes back DeadlineExceeded without executing —
+// and is accounted as deadline_in_queue, distinct from the blocker, which
+// EXECUTED and was then cancelled mid-run.
 TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
   SeedMinEngine::Options options;
   options.num_drivers = 1;  // one driver: the heavy request blocks the queue
-  SeedMinEngine engine(*heavy_, options);
+  SeedMinEngine engine(catalog_, options);
 
   CancelToken unblock;
   auto blocker = engine.SubmitAsync(HeavyRequest(11, &unblock));
@@ -211,7 +251,7 @@ TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
   // be safely expired after the 1.2 s sleep.
   queued.deadline = DeadlineAfter(0.5);
   auto expired = engine.SubmitAsync(queued);
-  EXPECT_EQ(engine.admission_stats().admitted, 2u);  // live at submit time
+  EXPECT_EQ(engine.admission_stats().queue.accepted, 2u);  // live at submit time
 
   std::this_thread::sleep_for(std::chrono::milliseconds(1200));
   unblock.Cancel();  // heavy request unwinds; driver reaches the queued one
@@ -222,6 +262,52 @@ TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
   const auto expired_result = expired.get();
   ASSERT_FALSE(expired_result.ok());
   EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Outcome split: the blocker executed (its mid-run cancellation is NOT
+  // an in-queue death); the second request died waiting on its deadline.
+  SeedMinEngine::EngineStats stats = engine.admission_stats();
+  for (int i = 0; i < 500 && stats.queue.completed < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine.admission_stats();
+  }
+  EXPECT_EQ(stats.queue.completed, 2u);
+  EXPECT_EQ(stats.queue.deadline_in_queue, 1u);
+  EXPECT_EQ(stats.queue.cancelled_in_queue, 0u);
+}
+
+// A token fired while its request is still waiting behind a blocker is an
+// in-queue cancellation: the request never executes and the per-outcome
+// counter says so.
+TEST_F(AdmissionTest, TokenFiredWhileQueuedCountsAsCancelledInQueue) {
+  SeedMinEngine::Options options;
+  options.num_drivers = 1;
+  SeedMinEngine engine(catalog_, options);
+
+  CancelToken unblock;
+  auto blocker = engine.SubmitAsync(HeavyRequest(13, &unblock));
+  CancelToken cancel_queued;
+  SolveRequest queued = SmallRequest(14);
+  queued.cancel = &cancel_queued;
+  auto cancelled = engine.SubmitAsync(queued);
+  EXPECT_EQ(engine.admission_stats().queue.accepted, 2u);
+
+  cancel_queued.Cancel();  // fires while the request waits in the queue
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  unblock.Cancel();
+
+  const auto cancelled_result = cancelled.get();
+  ASSERT_FALSE(cancelled_result.ok());
+  EXPECT_EQ(cancelled_result.status().code(), StatusCode::kCancelled);
+  const auto blocker_result = blocker.get();
+  ASSERT_FALSE(blocker_result.ok());
+
+  SeedMinEngine::EngineStats stats = engine.admission_stats();
+  for (int i = 0; i < 500 && stats.queue.completed < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine.admission_stats();
+  }
+  EXPECT_EQ(stats.queue.cancelled_in_queue, 1u);
+  EXPECT_EQ(stats.queue.deadline_in_queue, 0u);
 }
 
 // Cooperative cancellation mid-run, on both sampling paths: sequential
@@ -232,7 +318,7 @@ TEST_F(AdmissionTest, CancellationMidSamplingUnwindsPromptly) {
     SeedMinEngine::Options options;
     options.num_threads = threads;
     options.num_drivers = 1;
-    SeedMinEngine engine(*heavy_, options);
+    SeedMinEngine engine(catalog_, options);
     CancelToken cancel;
     auto future = engine.SubmitAsync(HeavyRequest(21, &cancel));
     // Let the driver get well into sampling before pulling the plug.
@@ -313,7 +399,7 @@ TEST_F(AdmissionTest, DestructionAbortsQueuedAndDrainsExecuting) {
     SeedMinEngine::Options options;
     options.num_drivers = 1;
     options.max_queue_depth = 8;
-    SeedMinEngine engine(*small_, options);
+    SeedMinEngine engine(catalog_, options);
     for (size_t i = 0; i < 5; ++i) {
       SolveRequest request = SmallRequest(40 + i);
       request.eta = 60;
@@ -342,7 +428,7 @@ TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
   options.num_drivers = 2;
   options.max_queue_depth = 1;  // capacity 3, well below the burst
   options.block_when_full = true;
-  SeedMinEngine engine(*small_, options);
+  SeedMinEngine engine(catalog_, options);
 
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   for (size_t i = 0; i < 8; ++i) {
@@ -354,21 +440,32 @@ TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
   }
   // A driver frees its slot (Complete) just AFTER resolving the promise,
   // so completed can trail future.get() by an instant — poll briefly.
-  AdmissionQueue::Stats stats = engine.admission_stats();
-  for (int i = 0; i < 500 && stats.completed < 8; ++i) {
+  SeedMinEngine::EngineStats stats = engine.admission_stats();
+  for (int i = 0; i < 500 && stats.queue.completed < 8; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     stats = engine.admission_stats();
   }
-  EXPECT_EQ(stats.admitted, 8u);
-  EXPECT_EQ(stats.rejected, 0u);
-  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.queue.accepted, 8u);
+  EXPECT_EQ(stats.queue.rejected, 0u);
+  EXPECT_EQ(stats.queue.completed, 8u);
+  EXPECT_EQ(stats.queue.cancelled_in_queue, 0u);
+  EXPECT_EQ(stats.queue.deadline_in_queue, 0u);
+  // Per-graph accounting drained too: everything ran against 'small'.
+  ASSERT_EQ(stats.graphs.size(), 1u);
+  EXPECT_EQ(stats.graphs[0].name, "small");
+  for (int i = 0; i < 500 && stats.graphs[0].completed < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine.admission_stats();
+  }
+  EXPECT_EQ(stats.graphs[0].completed, 8u);
+  EXPECT_EQ(stats.graphs[0].inflight, 0u);
 }
 
 TEST_F(AdmissionTest, SolveBatchLargerThanCapacityCompletes) {
   SeedMinEngine::Options options;
   options.num_drivers = 1;
   options.max_queue_depth = 1;  // capacity 2 vs a batch of 6
-  SeedMinEngine engine(*small_, options);
+  SeedMinEngine engine(catalog_, options);
 
   std::vector<SolveRequest> requests;
   for (size_t i = 0; i < 6; ++i) requests.push_back(SmallRequest(80 + i));
@@ -377,7 +474,7 @@ TEST_F(AdmissionTest, SolveBatchLargerThanCapacityCompletes) {
   for (const auto& result : results) {
     EXPECT_TRUE(result.ok()) << result.status().ToString();
   }
-  EXPECT_EQ(engine.admission_stats().rejected, 0u);
+  EXPECT_EQ(engine.admission_stats().queue.rejected, 0u);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 // Tests for the SeedMinEngine façade (src/api/): boundary validation
-// (Status::InvalidArgument instead of process aborts), the algorithm
-// registry, and the serving determinism contract — a SolveResult is a pure
-// function of (graph, request), bit-identical whether the request runs
-// solo, in a concurrent SolveBatch, or on a different engine instance, at
-// every pool size.
+// (Status::InvalidArgument instead of process aborts), per-graph routing
+// against the GraphCatalog (Status::NotFound for unknown names), the
+// algorithm registry, and the serving determinism contract — a
+// SolveResult is a pure function of (graph snapshot, request),
+// bit-identical whether the request runs solo, in a concurrent
+// SolveBatch, on a different engine instance, interleaved with requests
+// against a *different* catalog graph, or across a hot-swap of an
+// unrelated graph, at every pool size.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "benchutil/experiment.h"
 #include "graph/generators.h"
@@ -22,7 +26,8 @@ namespace {
 
 // Order-sensitive serialization of every deterministic field a client can
 // observe, down to the per-round records; wall-clock timings (the one
-// legitimately run-dependent part of a SolveResult) are excluded.
+// legitimately run-dependent part of a SolveResult) are excluded, and the
+// graph identity fields are asserted separately where they matter.
 std::string Fingerprint(const SolveResult& result) {
   std::ostringstream out;
   out << result.algorithm_name << '|';
@@ -50,19 +55,28 @@ std::string Fingerprint(const SolveResult& result) {
 class EngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    Rng rng(301);
-    auto graph = BuildWeightedGraph(MakeBarabasiAlbert(220, 2, rng),
+    Rng alpha_rng(301);
+    auto alpha = BuildWeightedGraph(MakeBarabasiAlbert(220, 2, alpha_rng),
                                     WeightScheme::kWeightedCascade);
-    ASSERT_TRUE(graph.ok());
-    graph_ = std::make_unique<DirectedGraph>(std::move(graph).value());
+    ASSERT_TRUE(alpha.ok());
+    alpha_nodes_ = alpha->NumNodes();
+    ASSERT_TRUE(catalog_.Register("alpha", std::move(alpha).value()).ok());
+
+    // A second, structurally different tenant for the multi-graph pins.
+    Rng beta_rng(302);
+    auto beta = BuildWeightedGraph(MakeBarabasiAlbert(180, 3, beta_rng),
+                                   WeightScheme::kWeightedCascade);
+    ASSERT_TRUE(beta.ok());
+    ASSERT_TRUE(catalog_.Register("beta", std::move(beta).value()).ok());
   }
 
   // A mixed-algorithm request batch covering adaptive, batched, heuristic
-  // and both non-adaptive paths, each with its own seed.
-  std::vector<SolveRequest> MixedRequests() const {
+  // and both non-adaptive paths, each with its own seed, all on `graph`.
+  std::vector<SolveRequest> MixedRequests(const std::string& graph) const {
     std::vector<SolveRequest> requests;
-    auto add = [&requests](AlgorithmId algorithm, uint64_t seed) {
+    auto add = [&requests, &graph](AlgorithmId algorithm, uint64_t seed) {
       SolveRequest request;
+      request.graph = graph;
       request.algorithm = algorithm;
       request.eta = 25;
       request.realizations = 2;
@@ -80,14 +94,25 @@ class EngineTest : public ::testing::Test {
     return requests;
   }
 
-  std::unique_ptr<DirectedGraph> graph_;
+  SolveRequest AlphaRequest() const {
+    SolveRequest request;
+    request.graph = "alpha";
+    request.eta = 25;
+    request.realizations = 2;
+    request.seed = 5;
+    request.keep_traces = true;
+    return request;
+  }
+
+  GraphCatalog catalog_;
+  NodeId alpha_nodes_ = 0;
 };
 
-// --- Validation at the API boundary (one test per bad field) --------------
+// --- Validation and routing at the API boundary ----------------------------
 
 TEST_F(EngineTest, RejectsEtaZero) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
   request.eta = 0;
   const auto result = engine.Solve(request);
   ASSERT_FALSE(result.ok());
@@ -95,18 +120,18 @@ TEST_F(EngineTest, RejectsEtaZero) {
 }
 
 TEST_F(EngineTest, RejectsEtaAboveN) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
-  request.eta = graph_->NumNodes() + 1;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
+  request.eta = alpha_nodes_ + 1;
   const auto result = engine.Solve(request);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(EngineTest, RejectsEpsilonAtOrBelowZero) {
-  SeedMinEngine engine(*graph_);
+  SeedMinEngine engine(catalog_);
   for (double epsilon : {0.0, -0.5}) {
-    SolveRequest request;
+    SolveRequest request = AlphaRequest();
     request.eta = 10;
     request.epsilon = epsilon;
     const auto result = engine.Solve(request);
@@ -116,9 +141,9 @@ TEST_F(EngineTest, RejectsEpsilonAtOrBelowZero) {
 }
 
 TEST_F(EngineTest, RejectsEpsilonAtOrAboveOne) {
-  SeedMinEngine engine(*graph_);
+  SeedMinEngine engine(catalog_);
   for (double epsilon : {1.0, 2.5}) {
-    SolveRequest request;
+    SolveRequest request = AlphaRequest();
     request.eta = 10;
     request.epsilon = epsilon;
     const auto result = engine.Solve(request);
@@ -128,8 +153,8 @@ TEST_F(EngineTest, RejectsEpsilonAtOrAboveOne) {
 }
 
 TEST_F(EngineTest, RejectsZeroRealizations) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
   request.eta = 10;
   request.realizations = 0;
   const auto result = engine.Solve(request);
@@ -138,8 +163,8 @@ TEST_F(EngineTest, RejectsZeroRealizations) {
 }
 
 TEST_F(EngineTest, RejectsUnknownAlgorithmId) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
   request.eta = 10;
   request.algorithm = static_cast<AlgorithmId>(99);
   const auto result = engine.Solve(request);
@@ -148,11 +173,11 @@ TEST_F(EngineTest, RejectsUnknownAlgorithmId) {
 }
 
 TEST_F(EngineTest, RejectsBatchSizeOffPlainAsti) {
-  SeedMinEngine engine(*graph_);
+  SeedMinEngine engine(catalog_);
   for (AlgorithmId algorithm : {AlgorithmId::kAsti4, AlgorithmId::kAdaptIm,
                                 AlgorithmId::kDegree, AlgorithmId::kAteuc,
                                 AlgorithmId::kBisection}) {
-    SolveRequest request;
+    SolveRequest request = AlphaRequest();
     request.eta = 10;
     request.algorithm = algorithm;
     request.batch_size = 4;
@@ -163,8 +188,8 @@ TEST_F(EngineTest, RejectsBatchSizeOffPlainAsti) {
 }
 
 TEST_F(EngineTest, RejectsZeroOracleTrials) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
   request.eta = 10;
   request.algorithm = AlgorithmId::kOracle;
   request.oracle_trials = 0;
@@ -173,9 +198,44 @@ TEST_F(EngineTest, RejectsZeroOracleTrials) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+// The legacy single-graph binding is gone: requests that don't name a
+// catalog graph are invalid, and unknown names answer NotFound, on both
+// the sync and async paths (without consuming admission capacity).
+TEST_F(EngineTest, EmptyGraphNameIsInvalidArgument) {
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
+  request.graph.clear();
+  const auto via_solve = engine.Solve(request);
+  ASSERT_FALSE(via_solve.ok());
+  EXPECT_EQ(via_solve.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Validate(request).code(), StatusCode::kInvalidArgument);
+
+  auto future = engine.SubmitAsync(request);
+  const auto via_async = future.get();
+  ASSERT_FALSE(via_async.ok());
+  EXPECT_EQ(via_async.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.admission_stats().queue.accepted, 0u);
+}
+
+TEST_F(EngineTest, UnknownGraphNameIsNotFound) {
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
+  request.graph = "gamma";
+  const auto via_solve = engine.Solve(request);
+  ASSERT_FALSE(via_solve.ok());
+  EXPECT_EQ(via_solve.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.Validate(request).code(), StatusCode::kNotFound);
+
+  auto future = engine.SubmitAsync(request);
+  const auto via_async = future.get();
+  ASSERT_FALSE(via_async.ok());
+  EXPECT_EQ(via_async.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.admission_stats().queue.accepted, 0u);
+}
+
 TEST_F(EngineTest, AsyncInvalidRequestResolvesToStatusNotCrash) {
-  SeedMinEngine engine(*graph_);
-  SolveRequest request;
+  SeedMinEngine engine(catalog_);
+  SolveRequest request = AlphaRequest();
   request.eta = 0;
   auto future = engine.SubmitAsync(request);
   const auto result = future.get();
@@ -219,8 +279,10 @@ TEST(AlgorithmRegistryTest, ParsesCanonicalAndBatchedNames) {
 }
 
 TEST_F(EngineTest, RegistryRefusesNonAdaptiveSelectors) {
+  const auto alpha = catalog_.Get("alpha");
+  ASSERT_TRUE(alpha.ok());
   AlgorithmContext ctx;
-  ctx.graph = graph_.get();
+  ctx.graph = &alpha->graph();
   for (AlgorithmId algorithm : {AlgorithmId::kAteuc, AlgorithmId::kBisection}) {
     auto selector = AlgorithmRegistry::Make(algorithm, ctx);
     ASSERT_FALSE(selector.ok());
@@ -233,15 +295,17 @@ TEST_F(EngineTest, RegistryRefusesNonAdaptiveSelectors) {
 
 // --- Serving determinism ---------------------------------------------------
 
+TEST_F(EngineTest, ResultRecordsGraphIdentity) {
+  SeedMinEngine engine(catalog_);
+  const auto result = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph_name, "alpha");
+  EXPECT_EQ(result->graph_epoch, 1u);
+}
+
 TEST_F(EngineTest, SolveMatchesLegacyRunCell) {
-  SolveRequest request;
-  request.algorithm = AlgorithmId::kAsti;
-  request.eta = 25;
-  request.realizations = 2;
-  request.seed = 5;
-  request.keep_traces = true;
-  SeedMinEngine engine(*graph_);
-  const auto via_engine = engine.Solve(request);
+  SeedMinEngine engine(catalog_);
+  const auto via_engine = engine.Solve(AlphaRequest());
   ASSERT_TRUE(via_engine.ok());
 
   CellConfig config;
@@ -250,7 +314,9 @@ TEST_F(EngineTest, SolveMatchesLegacyRunCell) {
   config.realizations = 2;
   config.seed = 5;
   config.keep_traces = true;
-  const CellResult via_runcell = RunCell(*graph_, config);
+  const auto alpha = catalog_.Get("alpha");
+  ASSERT_TRUE(alpha.ok());
+  const CellResult via_runcell = RunCell(alpha->graph(), config);
   EXPECT_EQ(Fingerprint(*via_engine), Fingerprint(via_runcell));
 }
 
@@ -258,18 +324,18 @@ TEST_F(EngineTest, SolveMatchesLegacyRunCell) {
 // concurrently yields byte-identical SolveResults to solo sequential
 // Solve calls, at every pool size.
 TEST_F(EngineTest, ConcurrentBatchMatchesSoloAtEveryPoolSize) {
-  const std::vector<SolveRequest> requests = MixedRequests();
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     std::vector<std::string> solo;
     {
-      SeedMinEngine engine(*graph_, {threads});
+      SeedMinEngine engine(catalog_, {threads});
       for (const SolveRequest& request : requests) {
         const auto result = engine.Solve(request);
         ASSERT_TRUE(result.ok()) << result.status().ToString();
         solo.push_back(Fingerprint(*result));
       }
     }
-    SeedMinEngine engine(*graph_, {threads});
+    SeedMinEngine engine(catalog_, {threads});
     const auto batch = engine.SolveBatch(requests);
     ASSERT_EQ(batch.size(), requests.size());
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -281,12 +347,13 @@ TEST_F(EngineTest, ConcurrentBatchMatchesSoloAtEveryPoolSize) {
   }
 }
 
-// Two engines sharing no state but the same request seeds agree, and a
-// request interleaved with other clients' async work equals its solo run.
+// Two engines sharing no state but the same catalog and request seeds
+// agree, and a request interleaved with other clients' async work equals
+// its solo run.
 TEST_F(EngineTest, IndependentEnginesAndInterleavedClientsAgree) {
-  const std::vector<SolveRequest> requests = MixedRequests();
-  SeedMinEngine engine_a(*graph_, {2});
-  SeedMinEngine engine_b(*graph_, {2});
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  SeedMinEngine engine_a(catalog_, {2});
+  SeedMinEngine engine_b(catalog_, {2});
 
   // Client 1 submits everything async on A; client 2 solves solo on B.
   std::vector<std::future<StatusOr<SolveResult>>> futures;
@@ -302,16 +369,180 @@ TEST_F(EngineTest, IndependentEnginesAndInterleavedClientsAgree) {
   }
 }
 
+// Multi-tenant pin: a request against one graph is bit-identical whether
+// it runs solo or interleaved with a stream of requests against a
+// *different* catalog graph on the same engine (same pool, same queue),
+// at every pool size.
+TEST_F(EngineTest, InterleavingAnotherGraphLeavesResultsIdentical) {
+  const std::vector<SolveRequest> alpha_requests = MixedRequests("alpha");
+  const std::vector<SolveRequest> beta_requests = MixedRequests("beta");
+  for (size_t threads : {1u, 2u, 4u}) {
+    std::vector<std::string> solo;
+    {
+      SeedMinEngine engine(catalog_, {threads});
+      for (const SolveRequest& request : alpha_requests) {
+        const auto result = engine.Solve(request);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        solo.push_back(Fingerprint(*result));
+      }
+    }
+
+    SeedMinEngine::Options options;
+    options.num_threads = threads;
+    options.num_drivers = 3;
+    SeedMinEngine engine(catalog_, options);
+    // Interleave the two tenants' submissions on one engine.
+    std::vector<std::future<StatusOr<SolveResult>>> alpha_futures;
+    std::vector<std::future<StatusOr<SolveResult>>> beta_futures;
+    for (size_t i = 0; i < alpha_requests.size(); ++i) {
+      beta_futures.push_back(engine.SubmitAsync(beta_requests[i]));
+      alpha_futures.push_back(engine.SubmitAsync(alpha_requests[i]));
+    }
+    for (size_t i = 0; i < alpha_futures.size(); ++i) {
+      const auto mixed = alpha_futures[i].get();
+      ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+      EXPECT_EQ(mixed->graph_name, "alpha");
+      EXPECT_EQ(Fingerprint(*mixed), solo[i])
+          << "threads=" << threads << " request=" << i;
+      const auto beta = beta_futures[i].get();
+      ASSERT_TRUE(beta.ok()) << beta.status().ToString();
+      EXPECT_EQ(beta->graph_name, "beta");
+    }
+
+    // Both tenants show up in the per-graph serving stats, fully drained.
+    const SeedMinEngine::EngineStats stats = engine.admission_stats();
+    ASSERT_EQ(stats.graphs.size(), 2u);
+    EXPECT_EQ(stats.graphs[0].name, "alpha");
+    EXPECT_EQ(stats.graphs[1].name, "beta");
+  }
+}
+
+// Hot-swap pin: requests against one graph are bit-identical across a
+// concurrent Swap of an *unrelated* graph, and requests admitted against
+// the swapped graph BEFORE the swap stay pinned to their old-epoch
+// snapshot even when they execute after it.
+TEST_F(EngineTest, HotSwapOfUnrelatedGraphLeavesResultsIdentical) {
+  const std::vector<SolveRequest> alpha_requests = MixedRequests("alpha");
+  std::vector<std::string> solo;
+  {
+    SeedMinEngine engine(catalog_, {2});
+    for (const SolveRequest& request : alpha_requests) {
+      const auto result = engine.Solve(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      solo.push_back(Fingerprint(*result));
+    }
+  }
+
+  SeedMinEngine::Options options;
+  options.num_threads = 2;
+  options.num_drivers = 2;
+  SeedMinEngine engine(catalog_, options);
+
+  // Admit one beta request before the swap: it must execute on epoch 1.
+  SolveRequest beta_request = MixedRequests("beta").front();
+  auto pinned_beta = engine.SubmitAsync(beta_request);
+  std::string beta_solo;
+  {
+    SeedMinEngine reference(catalog_, {2});
+    const auto result = reference.Solve(beta_request);
+    ASSERT_TRUE(result.ok());
+    beta_solo = Fingerprint(*result);
+  }
+
+  // Swap beta mid-workload (alpha untouched).
+  Rng swap_rng(909);
+  auto replacement = BuildWeightedGraph(MakeBarabasiAlbert(200, 2, swap_rng),
+                                        WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(replacement.ok());
+  const auto swapped = catalog_.Swap("beta", std::move(replacement).value());
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->epoch, 2u);
+
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  for (const SolveRequest& request : alpha_requests) {
+    futures.push_back(engine.SubmitAsync(request));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->graph_epoch, 1u);  // alpha was never swapped
+    EXPECT_EQ(Fingerprint(*result), solo[i]) << "request " << i;
+  }
+
+  // The pre-swap beta request executed on its pinned epoch-1 snapshot.
+  const auto pinned = pinned_beta.get();
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned->graph_epoch, 1u);
+  EXPECT_EQ(Fingerprint(*pinned), beta_solo);
+
+  // New beta requests route to the new epoch.
+  const auto fresh = engine.Solve(beta_request);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->graph_epoch, 2u);
+}
+
+// Retire + re-Register of the same name restarts epochs at 1; the
+// engine's state cache must key on snapshot identity, not epoch alone,
+// or it would keep serving the retired graph.
+TEST_F(EngineTest, ReRegisteredNameServesTheNewSnapshot) {
+  SeedMinEngine engine(catalog_, {2});
+  ASSERT_TRUE(engine.Solve(AlphaRequest()).ok());  // caches (alpha, epoch 1)
+
+  ASSERT_TRUE(catalog_.Retire("alpha").ok());
+  Rng bigger_rng(777);
+  auto bigger = BuildWeightedGraph(MakeBarabasiAlbert(500, 2, bigger_rng),
+                                   WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(bigger.ok());
+  const auto re_registered = catalog_.Register("alpha", std::move(bigger).value());
+  ASSERT_TRUE(re_registered.ok());
+  EXPECT_EQ(re_registered->epoch, 1u);  // same (name, epoch), new snapshot
+
+  // eta=300 is valid on the 500-node replacement but not on the retired
+  // 220-node graph: a stale cache would answer InvalidArgument.
+  SolveRequest request = AlphaRequest();
+  request.eta = 300;
+  const auto result = engine.Solve(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph_name, "alpha");
+  EXPECT_EQ(result->graph_epoch, 1u);
+}
+
+// Per-graph serving counters are per NAME, not per epoch: a hot-swap must
+// neither reset the completed total nor drop the row, and the row's epoch
+// advances to the newest resolved snapshot.
+TEST_F(EngineTest, PerGraphCountersSurviveHotSwap) {
+  SeedMinEngine engine(catalog_, {2});
+  ASSERT_TRUE(engine.Solve(AlphaRequest()).ok());
+  ASSERT_TRUE(engine.Solve(AlphaRequest()).ok());
+
+  Rng swap_rng(555);
+  auto replacement = BuildWeightedGraph(MakeBarabasiAlbert(240, 2, swap_rng),
+                                        WeightScheme::kWeightedCascade);
+  ASSERT_TRUE(replacement.ok());
+  ASSERT_TRUE(catalog_.Swap("alpha", std::move(replacement).value()).ok());
+  const auto fresh = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->graph_epoch, 2u);
+
+  const SeedMinEngine::EngineStats stats = engine.admission_stats();
+  // Only graphs with live serving state appear; beta was never served here.
+  ASSERT_EQ(stats.graphs.size(), 1u);
+  EXPECT_EQ(stats.graphs[0].name, "alpha");
+  EXPECT_EQ(stats.graphs[0].epoch, 2u);        // newest resolved epoch
+  EXPECT_EQ(stats.graphs[0].completed, 3u);    // totals carried across the swap
+  EXPECT_EQ(stats.graphs[0].inflight, 0u);
+}
+
 // Admission-rework pin: requests served through the bounded queue and the
 // fixed driver pool — strictly serialized (one driver) or racing (three
 // drivers) over a deliberately tiny queue, so blocking admission really
 // engages — stay bit-identical to solo Solve runs at every pool size.
 TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
-  const std::vector<SolveRequest> requests = MixedRequests();
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     std::vector<std::string> solo;
     {
-      SeedMinEngine engine(*graph_, {threads});
+      SeedMinEngine engine(catalog_, {threads});
       for (const SolveRequest& request : requests) {
         const auto result = engine.Solve(request);
         ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -323,7 +554,7 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
       options.num_threads = threads;
       options.num_drivers = drivers;
       options.max_queue_depth = 2;  // capacity 3 or 5 < 6 requests
-      SeedMinEngine engine(*graph_, options);
+      SeedMinEngine engine(catalog_, options);
       const auto batch = engine.SolveBatch(requests);
       ASSERT_EQ(batch.size(), requests.size());
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -331,9 +562,12 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
         EXPECT_EQ(Fingerprint(*batch[i]), solo[i])
             << "threads=" << threads << " drivers=" << drivers << " request=" << i;
       }
-      const AdmissionQueue::Stats stats = engine.admission_stats();
-      EXPECT_EQ(stats.admitted, requests.size());
-      EXPECT_EQ(stats.rejected, 0u);  // SolveBatch throttles, never rejects
+      const SeedMinEngine::EngineStats stats = engine.admission_stats();
+      EXPECT_EQ(stats.queue.accepted, requests.size());
+      EXPECT_EQ(stats.queue.rejected, 0u);  // SolveBatch throttles, never rejects
+      ASSERT_EQ(stats.graphs.size(), 1u);   // one tenant served
+      EXPECT_EQ(stats.graphs[0].name, "alpha");
+      EXPECT_EQ(stats.graphs[0].epoch, 1u);
     }
   }
 }
@@ -341,14 +575,13 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
 // The parallel sampling/coverage path is pool-size invariant, so engine
 // results agree across every pool size > 1.
 TEST_F(EngineTest, PoolSizesAboveOneAgree) {
-  SolveRequest request;
+  SolveRequest request = AlphaRequest();
   request.algorithm = AlgorithmId::kAsti2;
-  request.eta = 25;
+  request.realizations = 1;
   request.seed = 21;
-  request.keep_traces = true;
   std::string reference;
   for (size_t threads : {2u, 4u, 8u}) {
-    SeedMinEngine engine(*graph_, {threads});
+    SeedMinEngine engine(catalog_, {threads});
     const auto result = engine.Solve(request);
     ASSERT_TRUE(result.ok());
     if (reference.empty()) {
