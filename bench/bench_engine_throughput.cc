@@ -40,6 +40,13 @@
 //   --scale 1.0           graph size multiplier
 //   --model ic|lt
 //   --json PATH           machine-readable results (CI artifact)
+//   --metrics-out PATH    dump the mixed-phase engine's metrics snapshot
+//                         in Prometheus text format (CI artifact)
+//
+// Latency columns (p50/p99/p999 per level, per-graph queue wait, and the
+// hot-swap blackout) come from the engine's metrics_snapshot() histograms
+// — the same numbers a production scrape would see — not from bench-side
+// timing.
 
 #include <cstdint>
 #include <fstream>
@@ -55,6 +62,8 @@
 #include "benchutil/table.h"
 #include "benchutil/timer.h"
 #include "graph/generators.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
 #include "util/check.h"
 
 namespace asti {
@@ -94,6 +103,11 @@ struct LevelRow {
   double rate = 0.0;
   double speedup = 1.0;
   uint64_t checksum = 0;
+  // Request-latency quantiles from the engine's metrics histograms, in
+  // seconds (merged across all (graph, algorithm) label sets).
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 struct MixedGraphRow {
@@ -101,7 +115,17 @@ struct MixedGraphRow {
   size_t queries = 0;
   double rate = 0.0;
   uint64_t checksum = 0;
+  // Queue-wait quantiles for requests routed to this graph, in seconds.
+  double queue_p50 = 0.0;
+  double queue_p99 = 0.0;
 };
+
+constexpr double kNanos = 1e-9;
+
+// Quantile of a merged nanosecond histogram, in seconds.
+double QuantileSeconds(const HistogramData& data, double q) {
+  return data.Count() == 0 ? 0.0 : static_cast<double>(data.Quantile(q)) * kNanos;
+}
 
 }  // namespace
 }  // namespace asti
@@ -201,7 +225,8 @@ int main(int argc, char** argv) {
             << (pool_threads == 0 ? std::string("hw") : std::to_string(pool_threads))
             << ", queue depth=" << queue_depth << ")\n\n";
 
-  TextTable table({"clients", "drivers", "queries/s", "speedup", "checksum"});
+  TextTable table({"clients", "drivers", "queries/s", "speedup", "p50 ms",
+                   "p99 ms", "p999 ms", "checksum"});
   std::vector<LevelRow> rows;
   std::vector<uint64_t> reference_digests;  // per request, from level 1
   double base_rate = 0.0;
@@ -232,6 +257,12 @@ int main(int argc, char** argv) {
     }
     const double seconds = timer.Seconds();
 
+    // End-to-end request latency as the engine's own histograms saw it,
+    // merged across all (graph, algorithm) label sets of this level.
+    const MetricsSnapshot snapshot = engine.metrics_snapshot();
+    const HistogramData latency =
+        snapshot.MergedHistogram("asti_request_latency_seconds");
+
     const uint64_t checksum = BatchChecksum(digests);
     if (reference_digests.empty()) {
       reference_digests = digests;
@@ -246,9 +277,14 @@ int main(int argc, char** argv) {
     row.rate = rate;
     row.speedup = rate / base_rate;
     row.checksum = checksum;
+    row.p50 = QuantileSeconds(latency, 0.50);
+    row.p99 = QuantileSeconds(latency, 0.99);
+    row.p999 = QuantileSeconds(latency, 0.999);
     rows.push_back(row);
     table.AddRow({std::to_string(clients), std::to_string(row.drivers),
                   FormatDouble(rate, 1), FormatDouble(row.speedup) + "x",
+                  FormatDouble(row.p50 * 1e3), FormatDouble(row.p99 * 1e3),
+                  FormatDouble(row.p999 * 1e3),
                   std::to_string(checksum % 1000000)});
   }
   table.Print(std::cout);
@@ -335,6 +371,13 @@ int main(int argc, char** argv) {
   size_t hot_swap_epochs = 0;
   std::map<std::string, MixedGraphRow> per_graph;
   bool mixed_deterministic = true;
+  // Wall time each GraphCatalog::Swap holds the workload's attention: the
+  // "blackout" during which a lookup of the swapped name could observe
+  // neither the old epoch retired nor the new one published. Recorded in
+  // an obs histogram so the same merge/quantile path as the engine metrics
+  // reports it.
+  LogHistogram swap_blackout;
+  MetricsSnapshot mixed_snapshot;
   {
     Rng hot_rng(seed + 99);
     auto hot = BuildWeightedGraph(
@@ -368,8 +411,10 @@ int main(int argc, char** argv) {
                       swap_rng),
           WeightScheme::kWeightedCascade);
       ASM_CHECK(replacement.ok()) << replacement.status().ToString();
+      WallTimer swap_timer;
       const auto swapped =
           catalog.Swap("hot-swap-target", std::move(*replacement));
+      swap_blackout.Record(static_cast<uint64_t>(swap_timer.Seconds() / kNanos));
       ASM_CHECK(swapped.ok()) << swapped.status().ToString();
       hot_swap_epochs = swapped->epoch;
     }
@@ -385,8 +430,13 @@ int main(int argc, char** argv) {
       row.checksum ^= digest;
     }
     const double seconds = timer.Seconds();
+    mixed_snapshot = engine.metrics_snapshot();
     for (auto& [name, row] : per_graph) {
       row.rate = static_cast<double>(row.queries) / seconds;
+      const HistogramData waits =
+          mixed_snapshot.MergedHistogram("asti_queue_wait_seconds", "graph", name);
+      row.queue_p50 = QuantileSeconds(waits, 0.50);
+      row.queue_p99 = QuantileSeconds(waits, 0.99);
     }
     ASM_CHECK(catalog.Retire("hot-swap-target").ok());
   }
@@ -394,17 +444,34 @@ int main(int argc, char** argv) {
   std::cout << "\nMixed workload (" << queries << " queries round-robin over "
             << mixed_refs.size() << " graphs, one engine, "
             << hot_swap_epochs - 1 << " hot-swaps of an unrelated graph):\n";
-  TextTable mixed_table({"graph", "queries", "queries/s", "checksum"});
+  TextTable mixed_table({"graph", "queries", "queries/s", "queue p50 ms",
+                         "queue p99 ms", "checksum"});
   for (const auto& [name, row] : per_graph) {
     mixed_table.AddRow({row.name, std::to_string(row.queries),
                         FormatDouble(row.rate, 1),
+                        FormatDouble(row.queue_p50 * 1e3),
+                        FormatDouble(row.queue_p99 * 1e3),
                         std::to_string(row.checksum % 1000000)});
   }
   mixed_table.Print(std::cout);
+  const HistogramData blackout = swap_blackout.Snapshot();
+  std::cout << "Hot-swap blackout (catalog.Swap wall time): max="
+            << FormatDouble(static_cast<double>(blackout.MaxValue()) * kNanos * 1e3)
+            << "ms p50="
+            << FormatDouble(QuantileSeconds(blackout, 0.50) * 1e3)
+            << "ms over " << blackout.Count() << " swaps\n";
   std::cout << "Mixed results bit-identical to solo runs (per pinned "
                "snapshot): "
             << (mixed_deterministic ? "yes" : "NO — determinism violated") << "\n";
   deterministic = deterministic && mixed_deterministic;
+
+  const std::string metrics_path = cli.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    ASM_CHECK(out.good()) << "cannot open --metrics-out path " << metrics_path;
+    out << ExportPrometheusText(mixed_snapshot);
+    std::cout << "Mixed-phase metrics snapshot written to " << metrics_path << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -424,6 +491,9 @@ int main(int argc, char** argv) {
           << ", \"drivers\": " << rows[i].drivers
           << ", \"queries_per_s\": " << rows[i].rate
           << ", \"speedup\": " << rows[i].speedup
+          << ", \"latency_p50_s\": " << rows[i].p50
+          << ", \"latency_p99_s\": " << rows[i].p99
+          << ", \"latency_p999_s\": " << rows[i].p999
           << ", \"checksum\": " << rows[i].checksum << "}";
     }
     out << "\n  ],\n"
@@ -438,10 +508,15 @@ int main(int argc, char** argv) {
       out << (first ? "\n" : ",\n") << "    {\"name\": \"" << row.name
           << "\", \"queries\": " << row.queries
           << ", \"queries_per_s\": " << row.rate
+          << ", \"queue_wait_p50_s\": " << row.queue_p50
+          << ", \"queue_wait_p99_s\": " << row.queue_p99
           << ", \"checksum\": " << row.checksum << "}";
       first = false;
     }
-    out << "\n  ], \"deterministic\": " << (mixed_deterministic ? "true" : "false")
+    out << "\n  ], \"swap_blackout\": {\"swaps\": " << blackout.Count()
+        << ", \"max_s\": " << static_cast<double>(blackout.MaxValue()) * kNanos
+        << ", \"p50_s\": " << QuantileSeconds(blackout, 0.50)
+        << "}, \"deterministic\": " << (mixed_deterministic ? "true" : "false")
         << "},\n"
         << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
         << "}\n";

@@ -5,6 +5,13 @@
 // Not a paper figure — these isolate the primitives whose costs compose
 // into Figures 5/7 (e.g. LT reverse traversals are cheaper than IC ones,
 // mRR-set cost scales with OPT_i/η_i · m_i).
+//
+// The BM_*Profiled / BM_Obs* group pins the observability overhead
+// contract: with metrics off (null profile) sampling must be
+// indistinguishable from the bare loop (< 2%, i.e. noise), the absolute
+// cost of a live span (two steady_clock reads) must stay tens of ns so
+// production's per-batch spans amortize it below 2%, and the metric
+// primitives themselves must be nanosecond-scale.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +21,9 @@
 #include "coverage/max_coverage.h"
 #include "diffusion/forward_sim.h"
 #include "graph/datasets.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sampling/mrr_set.h"
 #include "sampling/root_size.h"
 #include "sampling/rr_set.h"
@@ -56,6 +66,39 @@ void BM_RrSetGeneration(benchmark::State& state) {
 BENCHMARK(BM_RrSetGeneration)
     ->Arg(static_cast<int>(DiffusionModel::kIndependentCascade))
     ->Arg(static_cast<int>(DiffusionModel::kLinearThreshold));
+
+// RR generation with the request-profile instrumentation attached, at a
+// deliberately finer grain than production (a span per Generate call
+// instead of per batch). Arg 0 runs with a null profile (spans are
+// no-ops, no clock reads — the enable_metrics=false path) and must match
+// BM_RrSetGeneration within noise (< 2%). Arg 1 runs a live profile and
+// exposes the absolute span cost — two steady_clock reads + accumulate,
+// tens of ns per call — which production pays once per *batch* of
+// hundreds-to-thousands of sets, keeping profiled sampling within 2% of
+// bare end to end.
+void BM_RrSetGenerationProfiled(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+  RrCollection collection(graph.NumNodes());
+  const auto candidates = AllNodes(graph.NumNodes());
+  Rng rng(1);  // same stream as BM_RrSetGeneration: identical work
+  RequestProfile storage;
+  RequestProfile* profile = state.range(0) == 0 ? nullptr : &storage;
+  for (auto _ : state) {
+    {
+      PhaseSpan span(profile, RequestPhase::kSampling);
+      sampler.Generate(candidates, nullptr, collection, rng);
+    }
+    NoteSampling(profile, 1, collection.MemoryBytes());
+    if (collection.NumSets() > 100000) {
+      state.PauseTiming();
+      collection.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RrSetGenerationProfiled)->Arg(0)->Arg(1);
 
 void BM_MrrSetGeneration(benchmark::State& state) {
   const DirectedGraph& graph = BenchGraph();
@@ -143,6 +186,36 @@ void BM_ForwardPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardPropagation);
+
+// --- Observability primitives -------------------------------------------
+
+// One sharded-counter increment; with --benchmark_threads > 1 (or the
+// ->Threads levels below) every thread lands on its own cache line.
+void BM_ObsShardedCounterAdd(benchmark::State& state) {
+  static ShardedCounter counter;
+  for (auto _ : state) {
+    counter.Add(1);
+  }
+  if (state.thread_index() == 0) benchmark::DoNotOptimize(counter.Value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsShardedCounterAdd)->Threads(1)->Threads(4);
+
+// One histogram record: a bit_width bucket index plus two relaxed adds.
+// The varying value sweeps bucket indices so the branch predictor cannot
+// memorize one bucket.
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  static LogHistogram histogram;
+  uint64_t value = 1;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = value * 6364136223846793005ull + 1442695040888963407ull;
+    value >>= 40;  // keep values in the realistic ns..ms bucket range
+  }
+  benchmark::DoNotOptimize(histogram.Snapshot().Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 }  // namespace
 }  // namespace asti

@@ -25,12 +25,15 @@
 // --algorithm NAME (see --list-algorithms; ASTI-b accepts any b >= 1),
 // --epsilon E, --threads T (1 = sequential, 0 = all cores), --runs R,
 // --seed S, --timeout SECONDS (abandon the run with DeadlineExceeded past
-// the budget; unset = no deadline), --save-traces PATH, --quiet.
+// the budget; unset = no deadline), --save-traces PATH, --quiet,
+// --metrics (print the request's phase profile and the engine's metrics
+// snapshot in Prometheus text format after the run).
 
 #include <iostream>
 
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
+#include "obs/export.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
 #include "core/trace_io.h"
@@ -223,6 +226,17 @@ int Run(int argc, char** argv) {
   }
   std::cout << "\nsummary: " << Summarize(result.aggregate) << " [graph "
             << result.graph_name << "@" << result.graph_epoch << "]\n";
+
+  if (cli.Has("metrics")) {
+    const RequestProfile& profile = result.profile;
+    std::cout << "\nprofile: total=" << profile.total_seconds
+              << "s sampling=" << profile.sampling_seconds
+              << "s coverage=" << profile.coverage_seconds
+              << "s certify=" << profile.certify_seconds
+              << "s sets=" << profile.sets_generated
+              << " collection_bytes=" << profile.collection_bytes << "\n\n"
+              << ExportPrometheusText(engine.metrics_snapshot());
+  }
 
   if (cli.Has("save-traces")) {
     const std::string path = cli.GetString("save-traces", "");

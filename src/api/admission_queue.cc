@@ -82,7 +82,9 @@ size_t AdmissionQueue::InFlight() const {
 
 AdmissionQueue::Stats AdmissionQueue::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.in_flight = in_flight_;
+  return snapshot;
 }
 
 }  // namespace asti

@@ -74,12 +74,21 @@ class AdmissionQueue {
   ///                         still waiting; never executed.
   /// Since a consumer calls Complete after running the item, completed can
   /// momentarily trail the resolution of the item's future.
+  ///
+  /// Consistency: every snapshot is taken under the queue mutex, so the
+  /// invariants hold in EVERY observation, not just at quiescence:
+  ///   accepted == completed + in_flight
+  ///   cancelled_in_queue + deadline_in_queue <= completed
   struct Stats {
     size_t accepted = 0;
     size_t rejected = 0;
     size_t completed = 0;
     size_t cancelled_in_queue = 0;
     size_t deadline_in_queue = 0;
+    /// Admitted-but-not-completed at snapshot time (queued + executing) —
+    /// captured under the same lock as the counters above so the
+    /// accept-to-completion accounting balances in each snapshot.
+    size_t in_flight = 0;
   };
 
   /// `capacity` bounds admitted-but-not-completed items; >= 1.

@@ -97,6 +97,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
         options.num_threads = ctx.num_threads;
         options.pool = ctx.pool;
         options.cancel = ctx.cancel;
+        options.profile = ctx.profile;
         return std::unique_ptr<RoundSelector>(
             std::make_unique<Trim>(graph, ctx.model, options));
       }
@@ -107,6 +108,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.num_threads = ctx.num_threads;
       options.pool = ctx.pool;
       options.cancel = ctx.cancel;
+      options.profile = ctx.profile;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<TrimB>(graph, ctx.model, options));
     }
@@ -116,6 +118,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.num_threads = ctx.num_threads;
       options.pool = ctx.pool;
       options.cancel = ctx.cancel;
+      options.profile = ctx.profile;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<AdaptIm>(graph, ctx.model, options));
     }

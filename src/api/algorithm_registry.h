@@ -18,6 +18,7 @@
 
 #include "core/selector.h"
 #include "diffusion/model.h"
+#include "obs/span.h"
 #include "stats/truncation.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -78,6 +79,10 @@ struct AlgorithmContext {
   /// coverage loops (not owned; must outlive the selector). See
   /// TrimOptions::cancel for the unwind contract.
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile threaded into the selector's sampling /
+  /// coverage / certify paths (not owned; may be null). Purely passive —
+  /// see TrimOptions::profile.
+  RequestProfile* profile = nullptr;
 };
 
 class AlgorithmRegistry {

@@ -26,6 +26,7 @@
 #include "core/trace.h"
 #include "diffusion/model.h"
 #include "graph/types.h"
+#include "obs/span.h"
 #include "stats/truncation.h"
 #include "util/cancellation.h"
 
@@ -99,6 +100,12 @@ struct SolveResult {
   std::vector<AdaptiveRunTrace> traces;  // only if keep_traces
   /// True iff every realization reached η.
   bool always_reached = false;
+  /// Serving-phase breakdown of this request (queue wait, sampling,
+  /// coverage, certify, total; sampling volume). Phase slots are populated
+  /// when the engine runs with Options::enable_metrics (the default);
+  /// total/queue-wait are always filled. Profiling is passive — the seeds,
+  /// spreads, and traces above are bit-identical with metrics on or off.
+  RequestProfile profile;
 };
 
 }  // namespace asti

@@ -1,6 +1,8 @@
 #include "api/seedmin_engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <tuple>
 #include <utility>
 
 #include "baselines/ateuc.h"
@@ -54,9 +56,40 @@ void FinishResult(const SolveRequest& request, std::vector<AdaptiveRunTrace> tra
 // Per-NAME serving counters, shared across epochs: a Swap must not reset
 // the completed total or lose sight of old-epoch requests still
 // executing, so the counters outlive any single snapshot's state.
+//
+// Both counts live in ONE atomic word — completed in the low 32 bits,
+// inflight in the high 32 — so a request's completion moves it from
+// inflight to completed in a single fetch_add. The previous two-atomic
+// scheme had a torn window between the inflight decrement and the
+// completed increment where a stats() reader counted the request in
+// NEITHER total; packing makes `ever_admitted == inflight + completed`
+// hold in every snapshot. 32 bits each is ample: inflight is bounded by
+// admission capacity (≪ 2^32) and 4 billion completions per graph name
+// exceed any engine lifetime this serves.
 struct SeedMinEngine::GraphCounters {
-  std::atomic<size_t> inflight{0};
-  std::atomic<size_t> completed{0};
+  static constexpr uint64_t kInflightOne = uint64_t{1} << 32;
+  static constexpr uint64_t kCompletedMask = kInflightOne - 1;
+
+  std::atomic<uint64_t> packed{0};
+
+  void Engage() { packed.fetch_add(kInflightOne, std::memory_order_relaxed); }
+  /// inflight -1, completed +1, atomically (unsigned wrap of the high half
+  /// borrows exactly the one inflight unit the request held).
+  void Release() {
+    packed.fetch_add(uint64_t{1} - kInflightOne, std::memory_order_relaxed);
+  }
+  /// inflight -1 without completing (rejected-at-admission path).
+  void Dismiss() { packed.fetch_sub(kInflightOne, std::memory_order_relaxed); }
+
+  struct View {
+    size_t inflight;
+    size_t completed;
+  };
+  View Load() const {
+    const uint64_t raw = packed.load(std::memory_order_relaxed);
+    return {static_cast<size_t>(raw >> 32),
+            static_cast<size_t>(raw & kCompletedMask)};
+  }
 };
 
 // Per-(name, epoch) serving state: the pinned snapshot, the per-name
@@ -98,9 +131,7 @@ struct SeedMinEngine::GraphState {
 
 SeedMinEngine::ServingSlot::ServingSlot(std::shared_ptr<GraphState> state)
     : state_(std::move(state)) {
-  if (state_ != nullptr) {
-    state_->counters->inflight.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (state_ != nullptr) state_->counters->Engage();
 }
 
 SeedMinEngine::ServingSlot::ServingSlot(ServingSlot&& other) noexcept
@@ -109,25 +140,19 @@ SeedMinEngine::ServingSlot::ServingSlot(ServingSlot&& other) noexcept
 SeedMinEngine::ServingSlot& SeedMinEngine::ServingSlot::operator=(
     ServingSlot&& other) noexcept {
   if (this != &other) {
-    if (state_ != nullptr) {
-      state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
-      state_->counters->completed.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (state_ != nullptr) state_->counters->Release();
     state_ = std::move(other.state_);
   }
   return *this;
 }
 
 SeedMinEngine::ServingSlot::~ServingSlot() {
-  if (state_ != nullptr) {
-    state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
-    state_->counters->completed.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (state_ != nullptr) state_->counters->Release();
 }
 
 void SeedMinEngine::ServingSlot::Dismiss() {
   if (state_ != nullptr) {
-    state_->counters->inflight.fetch_sub(1, std::memory_order_relaxed);
+    state_->counters->Dismiss();
     state_.reset();  // never admitted: not a completion
   }
 }
@@ -139,6 +164,9 @@ struct SeedMinEngine::PendingRequest {
   SolveRequest request;
   ServingSlot slot;
   std::promise<StatusOr<SolveResult>> promise;
+  /// Set just before Admit; pickup time minus this is the request's queue
+  /// wait (profile.queue_wait_seconds + the queue-wait histogram).
+  std::chrono::steady_clock::time_point admitted_at{};
 };
 
 SeedMinEngine::SeedMinEngine(GraphCatalog& catalog, Options options)
@@ -169,8 +197,9 @@ SeedMinEngine::EngineStats SeedMinEngine::admission_stats() const {
     GraphServingStats row;
     row.name = name;
     row.epoch = state->ref.epoch;
-    row.inflight = state->counters->inflight.load(std::memory_order_relaxed);
-    row.completed = state->counters->completed.load(std::memory_order_relaxed);
+    const GraphCounters::View counts = state->counters->Load();
+    row.inflight = counts.inflight;
+    row.completed = counts.completed;
     stats.graphs.push_back(std::move(row));
   }
   return stats;
@@ -301,18 +330,108 @@ StatusOr<SolveResult> SeedMinEngine::Solve(const SolveRequest& request) {
 
 StatusOr<SolveResult> SeedMinEngine::SolveOn(GraphState& state,
                                              const SolveRequest& request,
-                                             const CancelScope& scope) {
+                                             const CancelScope& scope,
+                                             double queue_wait_seconds) {
+  // Phase slots are threaded through the selector stack only when metrics
+  // are on; total/queue-wait are always filled (two clock reads). The
+  // profile is passive everywhere it travels, so the seeds/spreads/traces
+  // of the result are bit-identical with metrics on or off.
+  RequestProfile profile;
+  profile.queue_wait_seconds = queue_wait_seconds;
+  RequestProfile* slots = options_.enable_metrics ? &profile : nullptr;
+  WallTimer exec_timer;
   StatusOr<SolveResult> result =
       request.algorithm == AlgorithmId::kAteuc
-          ? RunAteucRequest(state, request, scope)
+          ? RunAteucRequest(state, request, scope, slots)
           : request.algorithm == AlgorithmId::kBisection
-                ? RunBisectionRequest(state, request, scope)
-                : RunAdaptive(state, request, scope);
+                ? RunBisectionRequest(state, request, scope, slots)
+                : RunAdaptive(state, request, scope, slots);
+  profile.total_seconds = queue_wait_seconds + exec_timer.Seconds();
   if (result.ok()) {
     result->graph_name = state.ref.name;
     result->graph_epoch = state.ref.epoch;
+    result->profile = profile;
   }
+  RecordRequestMetrics(state, request, result.ok() ? StatusCode::kOk : result.status().code(),
+                       profile);
   return result;
+}
+
+void SeedMinEngine::RecordRequestMetrics(const GraphState& state,
+                                         const SolveRequest& request, StatusCode code,
+                                         const RequestProfile& profile) {
+  if (!options_.enable_metrics) return;
+  auto to_nanos = [](double seconds) {
+    return seconds <= 0.0 ? uint64_t{0} : static_cast<uint64_t>(seconds * 1e9);
+  };
+  const std::string algorithm = AlgorithmRegistry::Name(request.algorithm);
+  const MetricLabels labels = {{"graph", state.ref.name}, {"algorithm", algorithm}};
+  registry_
+      .GetCounter("asti_requests_total", {{"graph", state.ref.name},
+                                          {"algorithm", algorithm},
+                                          {"outcome", StatusCodeName(code)}})
+      .Add(1);
+  constexpr double kNanos = 1e-9;
+  registry_.GetHistogram("asti_request_latency_seconds", labels, kNanos)
+      .Record(to_nanos(profile.total_seconds));
+  registry_.GetHistogram("asti_queue_wait_seconds", labels, kNanos)
+      .Record(to_nanos(profile.queue_wait_seconds));
+  const std::pair<const char*, double> phases[] = {
+      {"sampling", profile.sampling_seconds},
+      {"coverage", profile.coverage_seconds},
+      {"certify", profile.certify_seconds},
+  };
+  for (const auto& [phase, seconds] : phases) {
+    registry_
+        .GetHistogram("asti_phase_seconds",
+                      {{"graph", state.ref.name},
+                       {"algorithm", algorithm},
+                       {"phase", phase}},
+                      kNanos)
+        .Record(to_nanos(seconds));
+  }
+  registry_.GetCounter("asti_rr_sets_total", labels).Add(profile.sets_generated);
+  registry_.GetHistogram("asti_collection_bytes", labels)
+      .Record(profile.collection_bytes);
+}
+
+MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
+  MetricsSnapshot snapshot = registry_.Snapshot();
+  // Synthesize the admission/serving series from the mutex-consistent
+  // EngineStats snapshot, then restore sorted order so exporters emit each
+  // metric family contiguously.
+  const EngineStats stats = admission_stats();
+  const std::pair<const char*, size_t> outcomes[] = {
+      {"accepted", stats.queue.accepted},
+      {"rejected", stats.queue.rejected},
+      {"completed", stats.queue.completed},
+      {"cancelled_in_queue", stats.queue.cancelled_in_queue},
+      {"deadline_in_queue", stats.queue.deadline_in_queue},
+  };
+  for (const auto& [outcome, value] : outcomes) {
+    snapshot.counters.push_back(
+        {"asti_admission_total", {{"outcome", outcome}}, value});
+  }
+  snapshot.gauges.push_back({"asti_admission_inflight",
+                             {},
+                             static_cast<int64_t>(stats.queue.in_flight)});
+  for (const GraphServingStats& graph : stats.graphs) {
+    snapshot.counters.push_back({"asti_graph_completed_total",
+                                 {{"graph", graph.name}},
+                                 static_cast<uint64_t>(graph.completed)});
+    snapshot.gauges.push_back({"asti_graph_inflight",
+                               {{"graph", graph.name}},
+                               static_cast<int64_t>(graph.inflight)});
+    snapshot.gauges.push_back({"asti_graph_epoch",
+                               {{"graph", graph.name}},
+                               static_cast<int64_t>(graph.epoch)});
+  }
+  auto by_identity = [](const auto& a, const auto& b) {
+    return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_identity);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_identity);
+  return snapshot;
 }
 
 void SeedMinEngine::EnsureDrivers() {
@@ -362,7 +481,12 @@ std::future<StatusOr<SolveResult>> SeedMinEngine::Submit(
 
   EnsureDrivers();
   pending->slot = ServingSlot(std::move(*state));
+  pending->admitted_at = std::chrono::steady_clock::now();
   AdmissionTask task = [this, pending](bool aborted) -> AdmissionOutcome {
+    const double queue_wait =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pending->admitted_at)
+            .count();
     if (aborted) {
       pending->promise.set_value(
           Status::Cancelled("engine destroyed before the request executed"));
@@ -382,7 +506,7 @@ std::future<StatusOr<SolveResult>> SeedMinEngine::Submit(
       return outcome;
     }
     pending->promise.set_value(
-        SolveOn(*pending->slot.state(), pending->request, run_scope));
+        SolveOn(*pending->slot.state(), pending->request, run_scope, queue_wait));
     return AdmissionOutcome::kExecuted;
   };
   switch (queue_->Admit(std::move(task), policy)) {
@@ -426,7 +550,8 @@ std::vector<StatusOr<SolveResult>> SeedMinEngine::SolveBatch(
 
 StatusOr<SolveResult> SeedMinEngine::RunAdaptive(GraphState& state,
                                                  const SolveRequest& request,
-                                                 const CancelScope& scope) {
+                                                 const CancelScope& scope,
+                                                 RequestProfile* profile) {
   const DirectedGraph& graph = state.ref.graph();
   AlgorithmContext ctx;
   ctx.graph = &graph;
@@ -438,6 +563,7 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(GraphState& state,
   ctx.num_threads = options_.num_threads;
   ctx.pool = pool_.get();
   ctx.cancel = &scope;
+  ctx.profile = profile;
 
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
@@ -499,12 +625,14 @@ SolveResult SeedMinEngine::EvaluateOneShot(GraphState& state, const SolveRequest
 
 StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(GraphState& state,
                                                      const SolveRequest& request,
-                                                     const CancelScope& scope) {
+                                                     const CancelScope& scope,
+                                                     RequestProfile* profile) {
   Rng select_rng = StreamFor(request.seed, kAteucDomain, 0);
   AteucOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
   options.cancel = &scope;
+  options.profile = profile;
   WallTimer select_timer;
   const AteucResult selection =
       RunAteuc(state.ref.graph(), request.model, request.eta, options, select_rng);
@@ -519,12 +647,14 @@ StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(GraphState& state,
 
 StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(GraphState& state,
                                                          const SolveRequest& request,
-                                                         const CancelScope& scope) {
+                                                         const CancelScope& scope,
+                                                         RequestProfile* profile) {
   Rng select_rng = StreamFor(request.seed, kBisectionDomain, 0);
   BisectionOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
   options.cancel = &scope;
+  options.profile = profile;
   WallTimer select_timer;
   const BisectionResult selection = RunBisectionSeedMin(
       state.ref.graph(), request.model, request.eta, options, select_rng);

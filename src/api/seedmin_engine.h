@@ -29,7 +29,16 @@
 // small fixed pool of driver threads (Options::num_drivers) — never one
 // thread per request — so a burst beyond capacity is answered with
 // Status::ResourceExhausted (or blocks, with Options::block_when_full)
-// instead of spawning unbounded threads onto the shared pool. Every RNG
+// instead of spawning unbounded threads onto the shared pool.
+//
+// Observability: with Options::enable_metrics (the default) every served
+// request carries a populated RequestProfile on its SolveResult (queue
+// wait, sampling/coverage/certify seconds, sampling volume) and feeds the
+// engine-wide MetricsRegistry — latency/queue-wait/phase histograms and
+// per-outcome counters keyed {graph, algorithm} — exposed via
+// metrics_snapshot() and the obs/export.h exporters. Profiling is passive
+// (spans never touch RNG streams, partitioning, or merge order), so
+// results are bit-identical with metrics on or off. Every RNG
 // stream serving a request is derived from request.seed alone, so
 // *completed* results are bit-identical — in every field except the
 // wall-clock timings (trace seconds, aggregate mean_seconds), which
@@ -53,6 +62,7 @@
 #include "api/admission_queue.h"
 #include "api/graph_catalog.h"
 #include "api/request.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -88,6 +98,14 @@ class SeedMinEngine {
     /// *is* the backpressure), so batches larger than capacity still
     /// complete.
     bool block_when_full = false;
+    /// Per-request phase profiling + engine-wide metric aggregation. On
+    /// (the default): SolveResult::profile is fully populated and every
+    /// completion records into the metrics registry (handle lookups once
+    /// per request — never per RR-set; phase spans read the clock at batch
+    /// boundaries only). Off: phase slots stay zero and the registry is
+    /// not touched; total/queue-wait on the profile are still filled (two
+    /// clock reads). Results are bit-identical either way.
+    bool enable_metrics = true;
   };
 
   /// Per-graph serving counters, part of admission_stats(): one row per
@@ -131,6 +149,17 @@ class SeedMinEngine {
   /// Admission counters (per-outcome, since construction) plus per-graph
   /// serving counters — the serving front's observability hook.
   EngineStats admission_stats() const;
+
+  /// Engine-wide metrics snapshot: everything the per-request aggregation
+  /// recorded (asti_requests_total, asti_request_latency_seconds,
+  /// asti_queue_wait_seconds, asti_phase_seconds, asti_rr_sets_total,
+  /// asti_collection_bytes — keyed {graph, algorithm}) plus synthesized
+  /// admission counters (asti_admission_total{outcome}), the admission
+  /// inflight gauge, and per-graph inflight/completed/epoch series derived
+  /// from admission_stats(). Feed the result to ExportPrometheusText /
+  /// ExportMetricsJson (obs/export.h). Empty histogram set when the engine
+  /// runs with enable_metrics = false.
+  MetricsSnapshot metrics_snapshot() const;
 
   /// Checks every request field — including that request.graph resolves in
   /// the catalog — against the named graph; OK iff Solve would run
@@ -206,18 +235,28 @@ class SeedMinEngine {
                                             AdmissionQueue::AdmitPolicy policy);
 
   /// The one execution path: runs `request` against the pinned snapshot in
-  /// `state` (both Solve and the driver tasks land here).
+  /// `state` (both Solve and the driver tasks land here). `queue_wait_
+  /// seconds` is the admission→pickup wait for async paths (0 for Solve);
+  /// it lands on the result's profile and the queue-wait histogram.
   StatusOr<SolveResult> SolveOn(GraphState& state, const SolveRequest& request,
-                                const CancelScope& scope);
+                                const CancelScope& scope,
+                                double queue_wait_seconds = 0.0);
   Status ValidateAgainst(const SolveRequest& request, const DirectedGraph& graph) const;
 
+  /// Records one finished request (any verdict) into the registry; no-op
+  /// when enable_metrics is off.
+  void RecordRequestMetrics(const GraphState& state, const SolveRequest& request,
+                            StatusCode code, const RequestProfile& profile);
+
   StatusOr<SolveResult> RunAdaptive(GraphState& state, const SolveRequest& request,
-                                    const CancelScope& scope);
+                                    const CancelScope& scope, RequestProfile* profile);
   StatusOr<SolveResult> RunAteucRequest(GraphState& state, const SolveRequest& request,
-                                        const CancelScope& scope);
+                                        const CancelScope& scope,
+                                        RequestProfile* profile);
   StatusOr<SolveResult> RunBisectionRequest(GraphState& state,
                                             const SolveRequest& request,
-                                            const CancelScope& scope);
+                                            const CancelScope& scope,
+                                            RequestProfile* profile);
   SolveResult EvaluateOneShot(GraphState& state, const SolveRequest& request,
                               const std::vector<NodeId>& seeds, double select_seconds,
                               size_t num_samples, const CancelScope& scope);
@@ -226,6 +265,8 @@ class SeedMinEngine {
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // engaged when num_threads != 1
   std::unique_ptr<AdmissionQueue> queue_;
+  /// Engine-wide metric store; written once per request completion.
+  MetricsRegistry registry_;
   std::once_flag drivers_once_;
   std::vector<std::thread> drivers_;
 

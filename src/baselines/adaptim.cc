@@ -13,7 +13,8 @@ AdaptIm::AdaptIm(const DirectedGraph& graph, DiffusionModel model, AdaptImOption
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel,
+              options.profile) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -47,21 +48,29 @@ SelectionResult AdaptIm::SelectBatch(const ResidualView& view, Rng& rng) {
                               rng);
       return;
     }
+    PhaseSpan span(options_.profile, RequestPhase::kSampling);
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       if (i % 64 == 0 && Fired(options_.cancel)) return;
       sampler_.Generate(*view.inactive_nodes, view.active, collection_, rng);
     }
+    NoteSampling(options_.profile, count, collection_.MemoryBytes());
   };
   generate(theta_zero);
 
   SelectionResult result;
   for (size_t t = 1; t <= max_iterations; ++t) {
     if (Fired(options_.cancel)) return SelectionResult{};  // empty seeds = cancelled round
-    const NodeId v_star = ArgMaxCoverage(collection_, engine_.pool());
+    const NodeId v_star =
+        ArgMaxCoverage(collection_, engine_.pool(), options_.profile);
     const double coverage = static_cast<double>(collection_.Coverage(v_star));
-    const double lower = CoverageLowerBound(coverage, a1);
-    const double upper = CoverageUpperBound(coverage, a2);
+    double lower, upper;
+    {
+      // Scoped so certify time excludes the doubling generate() below.
+      PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+      lower = CoverageLowerBound(coverage, a1);
+      upper = CoverageUpperBound(coverage, a2);
+    }
     result.iterations = t;
     if (lower / upper >= 1.0 - eps_hat || t == max_iterations) {
       result.seeds = {v_star};

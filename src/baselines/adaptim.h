@@ -32,6 +32,8 @@ struct AdaptImOptions {
   ThreadPool* pool = nullptr;
   /// Cooperative stop condition; semantics as TrimOptions::cancel.
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile; semantics as TrimOptions::profile.
+  RequestProfile* profile = nullptr;
 };
 
 /// Untruncated-marginal-spread round selector.

@@ -27,7 +27,9 @@ struct GreedyCurve {
 };
 
 GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap,
-                                ThreadPool* pool, const CancelScope* cancel) {
+                                ThreadPool* pool, const CancelScope* cancel,
+                                RequestProfile* profile) {
+  PhaseSpan span(profile, RequestPhase::kCoverage);
   const size_t num_sets = collection.NumSets();
   const InvertedIndex index = BuildInvertedIndex(collection, pool);
 
@@ -67,7 +69,7 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
   RrSampler sampler(graph, model);
   RrCollection collection(n);
   ParallelEngine engine(graph, model, options.num_threads, options.pool,
-                        options.cancel);
+                        options.cancel, options.profile);
   const double n_d = static_cast<double>(n);
   // Failure budget per bound evaluation; the union bound over greedy
   // prefixes and doubling iterations follows Han et al.'s recipe.
@@ -86,19 +88,25 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
                               collection, rng);
       if (Fired(options.cancel)) return result;  // batch aborted at a stride boundary
     } else {
-      collection.Reserve(target_samples - collection.NumSets());
+      PhaseSpan span(options.profile, RequestPhase::kSampling);
+      const size_t before = collection.NumSets();
+      collection.Reserve(target_samples - before);
       size_t generated = 0;
       while (collection.NumSets() < target_samples) {
         if (generated++ % 64 == 0 && Fired(options.cancel)) return result;
         sampler.Generate(all_nodes, nullptr, collection, rng);
       }
+      NoteSampling(options.profile, collection.NumSets() - before,
+                   collection.MemoryBytes());
     }
     const double theta = static_cast<double>(collection.NumSets());
     // Greedy can never need more than η picks: each pick either covers a
     // new set or coverage is exhausted.
-    const GreedyCurve curve =
-        GreedyCoverageCurve(collection, eta, engine.pool(), options.cancel);
+    const GreedyCurve curve = GreedyCoverageCurve(collection, eta, engine.pool(),
+                                                  options.cancel, options.profile);
     if (Fired(options.cancel)) return result;  // curve truncated mid-pick; bounds unusable
+    // Everything from here to the doubling decision is bound evaluation.
+    PhaseSpan certify(options.profile, RequestPhase::kCertify);
 
     // S_u: first prefix whose spread estimate reaches η. Following the
     // empirical behaviour the ASTI paper reports for ATEUC (E[I(S)] ≈ η,

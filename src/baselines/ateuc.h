@@ -28,6 +28,7 @@
 
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "obs/span.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 
@@ -55,6 +56,8 @@ struct AteucOptions {
   /// partial result promptly — callers observing the scope must discard
   /// it (SeedMinEngine returns Cancelled/DeadlineExceeded instead).
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile; semantics as TrimOptions::profile.
+  RequestProfile* profile = nullptr;
 };
 
 /// Result of the one-shot (non-adaptive) selection.

@@ -25,11 +25,12 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   // bisection protocol, whose cost profile is what this baseline is for).
   RrCollection collection(n);
   ParallelEngine engine(graph, model, options.num_threads, options.pool,
-                        options.cancel);
+                        options.cancel, options.profile);
   BisectionResult result;
   if (ParallelRrSampler* parallel = engine.get()) {
     parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);
   } else {
+    PhaseSpan span(options.profile, RequestPhase::kSampling);
     RrSampler sampler(graph, model);
     collection.Reserve(options.samples);
     size_t generated = 0;
@@ -37,6 +38,7 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
       if (generated++ % 64 == 0 && Fired(options.cancel)) break;
       sampler.Generate(all_nodes, nullptr, collection, rng);
     }
+    NoteSampling(options.profile, collection.NumSets(), collection.MemoryBytes());
   }
   if (Fired(options.cancel) || collection.NumSets() == 0) return result;  // doomed; discard
   result.num_samples = collection.NumSets();
@@ -45,8 +47,8 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
 
   auto spread_of_k = [&](NodeId k) {
     ++result.im_evaluations;
-    const MaxCoverageResult greedy =
-        GreedyMaxCoverage(collection, k, nullptr, engine.pool(), options.cancel);
+    const MaxCoverageResult greedy = GreedyMaxCoverage(
+        collection, k, nullptr, engine.pool(), options.cancel, options.profile);
     return static_cast<double>(n) * static_cast<double>(greedy.covered_sets) / theta;
   };
 
@@ -69,8 +71,8 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   }
   if (Fired(options.cancel)) return result;
 
-  const MaxCoverageResult final_greedy =
-      GreedyMaxCoverage(collection, high, nullptr, engine.pool(), options.cancel);
+  const MaxCoverageResult final_greedy = GreedyMaxCoverage(
+      collection, high, nullptr, engine.pool(), options.cancel, options.profile);
   result.seeds = final_greedy.selected;
   result.estimated_spread =
       static_cast<double>(n) * static_cast<double>(final_greedy.covered_sets) / theta;

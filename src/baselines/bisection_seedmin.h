@@ -16,6 +16,7 @@
 
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "obs/span.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 
@@ -36,6 +37,8 @@ struct BisectionOptions {
   /// stride, and greedy pick. A fired scope returns a partial result the
   /// caller must discard; semantics as AteucOptions::cancel.
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile; semantics as TrimOptions::profile.
+  RequestProfile* profile = nullptr;
 };
 
 /// Result of the bisection run.

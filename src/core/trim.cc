@@ -42,7 +42,8 @@ Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
-      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel,
+              options.profile) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
@@ -61,6 +62,7 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
                                  collection_, rng);
       return;
     }
+    PhaseSpan span(options_.profile, RequestPhase::kSampling);
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       // Sequential analogue of the parallel sampler's stride poll; the
@@ -69,16 +71,24 @@ SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);
     }
+    NoteSampling(options_.profile, count, collection_.MemoryBytes());
   };
   generate(schedule.theta_zero);
 
   SelectionResult result;
   for (size_t t = 1; t <= schedule.max_iterations; ++t) {
     if (Fired(options_.cancel)) return SelectionResult{};  // empty seeds = cancelled round
-    const NodeId v_star = ArgMaxCoverage(collection_, engine_.pool());
+    const NodeId v_star =
+        ArgMaxCoverage(collection_, engine_.pool(), options_.profile);
     const double coverage = static_cast<double>(collection_.Coverage(v_star));
-    const double lower = CoverageLowerBound(coverage, schedule.a1);
-    const double upper = CoverageUpperBound(coverage, schedule.a2);
+    double lower, upper;
+    {
+      // Scoped so the certify slot sees only the bound evaluation, not the
+      // doubling generate() at the bottom of the iteration.
+      PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+      lower = CoverageLowerBound(coverage, schedule.a1);
+      upper = CoverageUpperBound(coverage, schedule.a2);
+    }
     result.iterations = t;
     if (lower / upper >= 1.0 - schedule.eps_hat || t == schedule.max_iterations) {
       result.seeds = {v_star};

@@ -40,6 +40,10 @@ struct TrimOptions {
   /// instead of finishing the doubling schedule. Completed selections are
   /// bit-identical with or without a scope attached.
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile (not owned; may be null). Accrues sampling /
+  /// coverage / certify wall time and sampling volume; never read by the
+  /// algorithm, so selections are bit-identical with or without it.
+  RequestProfile* profile = nullptr;
 };
 
 /// Single-seed truncated influence maximizer.

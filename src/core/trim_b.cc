@@ -49,7 +49,8 @@ TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions opti
       sampler_(graph, model),
       collection_(graph.NumNodes()),
       name_("ASTI-" + std::to_string(options.batch_size)),
-      engine_(graph, model, options.num_threads, options.pool, options.cancel) {
+      engine_(graph, model, options.num_threads, options.pool, options.cancel,
+              options.profile) {
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
   ASM_CHECK(options_.batch_size >= 1);
 }
@@ -70,12 +71,14 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
                                  collection_, rng);
       return;
     }
+    PhaseSpan span(options_.profile, RequestPhase::kSampling);
     collection_.Reserve(count);
     for (size_t i = 0; i < count; ++i) {
       if (i % 64 == 0 && Fired(options_.cancel)) return;
       sampler_.Generate(*view.inactive_nodes, view.active, root_size.Sample(rng),
                         collection_, rng);
     }
+    NoteSampling(options_.profile, count, collection_.MemoryBytes());
   };
   generate(schedule.theta_zero);
 
@@ -85,13 +88,18 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
     // CELF lazy greedy: identical selection to the eager version (see
     // lazy_greedy_test), without the O(b·n) argmax rescans. Shares the
     // sampling pool; results are thread-count-invariant.
-    const MaxCoverageResult greedy = LazyGreedyMaxCoverage(
-        collection_, batch, view.inactive_nodes, engine_.pool(), options_.cancel);
+    const MaxCoverageResult greedy =
+        LazyGreedyMaxCoverage(collection_, batch, view.inactive_nodes, engine_.pool(),
+                              options_.cancel, options_.profile);
     if (Fired(options_.cancel)) return SelectionResult{};  // coverage pass aborted mid-pick
     const double coverage = static_cast<double>(greedy.covered_sets);
-    const double lower = CoverageLowerBound(coverage, schedule.a1);
-    const double upper =
-        CoverageUpperBound(coverage / schedule.rho_b, schedule.a2);
+    double lower, upper;
+    {
+      // Scoped so certify time excludes the doubling generate() below.
+      PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+      lower = CoverageLowerBound(coverage, schedule.a1);
+      upper = CoverageUpperBound(coverage / schedule.rho_b, schedule.a2);
+    }
     result.iterations = t;
     if (lower / upper >= schedule.rho_b * (1.0 - schedule.eps_hat) ||
         t == schedule.max_iterations) {

@@ -32,6 +32,8 @@ struct TrimBOptions {
   /// Cooperative stop condition; semantics as TrimOptions::cancel (also
   /// polled per greedy-coverage pick inside the certify step).
   const CancelScope* cancel = nullptr;
+  /// Per-request phase profile; semantics as TrimOptions::profile.
+  RequestProfile* profile = nullptr;
 };
 
 /// Batched truncated influence maximizer.

@@ -32,7 +32,9 @@ struct HeapEntry {
 
 MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates,
-                                        ThreadPool* pool, const CancelScope* cancel) {
+                                        ThreadPool* pool, const CancelScope* cancel,
+                                        RequestProfile* profile) {
+  PhaseSpan span(profile, RequestPhase::kCoverage);
   ASM_CHECK(budget >= 1);
   const NodeId n = collection.num_nodes();
   MaxCoverageResult result;

@@ -27,6 +27,7 @@ namespace asti {
 MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates = nullptr,
                                         ThreadPool* pool = nullptr,
-                                        const CancelScope* cancel = nullptr);
+                                        const CancelScope* cancel = nullptr,
+                                        RequestProfile* profile = nullptr);
 
 }  // namespace asti

@@ -29,7 +29,8 @@ std::vector<NodeId> DedupeCandidates(const std::vector<NodeId>& candidates, Node
 }
 
 NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>* domain,
-                   const BitVector* skip, ThreadPool* pool) {
+                   const BitVector* skip, ThreadPool* pool, RequestProfile* profile) {
+  PhaseSpan span(profile, RequestPhase::kCoverage);
   const size_t count = domain != nullptr ? domain->size() : score.size();
   auto node_at = [&](size_t i) {
     return domain != nullptr ? (*domain)[i] : static_cast<NodeId>(i);
@@ -66,14 +67,19 @@ NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>
   return best;
 }
 
-NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool) {
+NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool,
+                      RequestProfile* profile) {
   ASM_CHECK(collection.num_nodes() > 0);
-  return ArgMaxScore(collection.CoverageCounts(), nullptr, nullptr, pool);
+  return ArgMaxScore(collection.CoverageCounts(), nullptr, nullptr, pool, profile);
 }
 
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates,
-                                    ThreadPool* pool, const CancelScope* cancel) {
+                                    ThreadPool* pool, const CancelScope* cancel,
+                                    RequestProfile* profile) {
+  // The span covers the whole solve; the internal ArgMaxScore calls get a
+  // null profile so the time is not double-counted.
+  PhaseSpan span(profile, RequestPhase::kCoverage);
   ASM_CHECK(budget >= 1);
   const NodeId n = collection.num_nodes();
   const size_t num_sets = collection.NumSets();

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "obs/span.h"
 #include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 #include "util/bit_vector.h"
@@ -38,11 +39,14 @@ struct MaxCoverageResult {
 /// unique nodes). `pool` parallelizes the per-pick argmax scans. A
 /// non-null `cancel` is polled before every pick: once it fires, the
 /// partial result so far is returned (callers observing the scope must
-/// discard it — completed runs are unaffected by the polls).
+/// discard it — completed runs are unaffected by the polls). A non-null
+/// `profile` accrues the call's wall time into its coverage slot; it is
+/// never read by the solver, so selections are unchanged by it.
 MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates = nullptr,
                                     ThreadPool* pool = nullptr,
-                                    const CancelScope* cancel = nullptr);
+                                    const CancelScope* cancel = nullptr,
+                                    RequestProfile* profile = nullptr);
 
 /// ρ_b = 1 − (1 − 1/b)^b, the greedy guarantee used throughout TRIM-B.
 double GreedyCoverageRatio(NodeId budget);
@@ -56,14 +60,17 @@ MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget
 /// skip.Get(v) set when `skip` is non-null. A multi-worker `pool` splits
 /// the scan into chunk-local argmaxes merged in chunk order — same result
 /// as the sequential scan for every thread count. Returns kInvalidNode iff
-/// no node is eligible.
+/// no node is eligible. `profile` (optional) accrues the scan's wall time
+/// into the coverage slot.
 NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>* domain,
-                   const BitVector* skip, ThreadPool* pool);
+                   const BitVector* skip, ThreadPool* pool,
+                   RequestProfile* profile = nullptr);
 
 /// Λ_R argmax over the collection's coverage counts ((coverage, lowest id)
 /// rule) — RrCollection::ArgMaxCoverage with an optional pool behind it.
 /// The b = 1 selection TRIM/AdaptIM run every certify iteration.
-NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool);
+NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool,
+                      RequestProfile* profile = nullptr);
 
 /// First occurrence of every node in `candidates`, later duplicates
 /// dropped; checks every entry against [0, n). The shared guard behind the

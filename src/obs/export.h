@@ -1,0 +1,39 @@
+// Exporters for MetricsSnapshot: Prometheus-style text exposition and the
+// machine-readable JSON shape the bench harness CI artifacts use.
+//
+// Both exporters are pure functions of the snapshot, emit entries in
+// snapshot order (sorted — see MetricsRegistry::Snapshot), and apply each
+// histogram's scale so time series recorded in nanoseconds read as
+// seconds. Histogram buckets are emitted sparsely (only non-empty
+// buckets, plus the +Inf/cumulative terminator), which keeps a 244-bucket
+// grid's exposition proportional to the data actually observed.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace asti {
+
+/// Prometheus text exposition format:
+///   # TYPE asti_requests_total counter
+///   asti_requests_total{graph="wiki",algorithm="ASTI"} 42
+///   asti_request_latency_seconds_bucket{graph="wiki",...,le="0.004"} 17
+///   ...
+///   asti_request_latency_seconds_sum{...} 1.25
+///   asti_request_latency_seconds_count{...} 42
+/// Bucket `le` bounds are the fixed grid's scaled BucketMax values;
+/// bucket counts are cumulative, per the format.
+std::string ExportPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON document (2-space indented, stable key order) with the shape
+///   {"counters": [{"name", "labels", "value"}, ...],
+///    "gauges": [...],
+///    "histograms": [{"name", "labels", "count", "sum",
+///                    "p50", "p90", "p99", "p999", "max",
+///                    "buckets": [{"le", "count"}, ...]}, ...]}
+/// Quantiles/sum/bounds are scaled to display units.
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+
+}  // namespace asti

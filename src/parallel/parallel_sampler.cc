@@ -3,8 +3,9 @@
 namespace asti {
 
 ParallelRrSampler::ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model,
-                                     ThreadPool& pool, const CancelScope* cancel)
-    : pool_(&pool), cancel_(cancel) {
+                                     ThreadPool& pool, const CancelScope* cancel,
+                                     RequestProfile* profile)
+    : pool_(&pool), cancel_(cancel), profile_(profile) {
   workers_.reserve(pool.NumThreads());
   for (size_t i = 0; i < pool.NumThreads(); ++i) {
     workers_.push_back(std::make_unique<Worker>(graph, model));
@@ -15,6 +16,9 @@ template <class GenerateOne>
 void ParallelRrSampler::RunBatch(size_t count, RrCollection& out, Rng& rng,
                                  GenerateOne&& generate_one) {
   if (count == 0) return;
+  // Profiling reads the clock only at batch boundaries; generation itself
+  // never observes the profile, so sampled content is unchanged by it.
+  PhaseSpan span(profile_, RequestPhase::kSampling);
   // One draw per batch: successive batches get fresh stream families while
   // the caller's consumption stays independent of count and thread count.
   const Rng batch_base = rng.Split();
@@ -51,6 +55,7 @@ void ParallelRrSampler::MergeInto(RrCollection& out) {
     worker->rr.ResetCost();
     worker->mrr.ResetCost();
   }
+  NoteSampling(profile_, total_sets, out.MemoryBytes());
 }
 
 void ParallelRrSampler::GenerateBatch(const std::vector<NodeId>& candidates,

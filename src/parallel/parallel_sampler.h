@@ -20,6 +20,7 @@
 
 #include "diffusion/model.h"
 #include "graph/graph.h"
+#include "obs/span.h"
 #include "parallel/thread_pool.h"
 #include "sampling/mrr_set.h"
 #include "sampling/root_size.h"
@@ -42,8 +43,12 @@ class ParallelRrSampler {
   /// merges whatever was staged (the caller unwinds and discards it).
   /// Batches that complete without the scope firing are bit-identical to
   /// an uncancellable run.
+  /// A non-null `profile` (not owned) accrues sampling wall time, sets
+  /// generated, and collection footprint per batch; it never feeds back
+  /// into generation, so results are identical with or without it.
   ParallelRrSampler(const DirectedGraph& graph, DiffusionModel model, ThreadPool& pool,
-                    const CancelScope* cancel = nullptr);
+                    const CancelScope* cancel = nullptr,
+                    RequestProfile* profile = nullptr);
 
   /// Cumulative traversal cost across all batches since construction /
   /// the last ResetCost(); exact (merged from workers after every batch).
@@ -82,6 +87,7 @@ class ParallelRrSampler {
 
   ThreadPool* pool_;
   const CancelScope* cancel_;  // not owned; may be null
+  RequestProfile* profile_;    // not owned; may be null
   std::vector<std::unique_ptr<Worker>> workers_;
   SamplerCost cost_;
 };
@@ -97,15 +103,20 @@ class ParallelRrSampler {
 class ParallelEngine {
  public:
   /// `cancel` (optional, not owned) is forwarded to the batch sampler so
-  /// in-flight generation aborts at stride boundaries once it fires.
+  /// in-flight generation aborts at stride boundaries once it fires;
+  /// `profile` (optional, not owned) likewise, for sampling-phase
+  /// accounting.
   ParallelEngine(const DirectedGraph& graph, DiffusionModel model, size_t num_threads,
-                 ThreadPool* shared_pool = nullptr, const CancelScope* cancel = nullptr)
+                 ThreadPool* shared_pool = nullptr, const CancelScope* cancel = nullptr,
+                 RequestProfile* profile = nullptr)
       : shared_pool_(shared_pool) {
     if (shared_pool_ != nullptr) {
-      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *shared_pool_, cancel);
+      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *shared_pool_, cancel,
+                                                     profile);
     } else if (num_threads != 1) {
       pool_ = std::make_unique<ThreadPool>(num_threads);
-      sampler_ = std::make_unique<ParallelRrSampler>(graph, model, *pool_, cancel);
+      sampler_ =
+          std::make_unique<ParallelRrSampler>(graph, model, *pool_, cancel, profile);
     }
   }
 

@@ -32,6 +32,13 @@ class RrCollection {
   /// Σ |R| over all stored sets.
   size_t TotalEntries() const { return pool_.size(); }
 
+  /// Resident footprint of the collection's backing storage in bytes
+  /// (pool + offsets + coverage counters), reported in request profiles.
+  size_t MemoryBytes() const {
+    return pool_.capacity() * sizeof(NodeId) + offsets_.capacity() * sizeof(size_t) +
+           coverage_.capacity() * sizeof(uint32_t);
+  }
+
   /// Nodes of the i-th set, in traversal discovery order (roots first).
   std::span<const NodeId> Set(size_t i) const {
     ASM_DCHECK(i < NumSets());

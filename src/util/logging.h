@@ -16,6 +16,12 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
+/// Builds the complete log line — "[LEVEL yyyy-mm-ddThh:mm:ss.mmmZ] message\n".
+/// Exposed so tests can pin the format without scraping stderr.
+std::string FormatLogLine(LogLevel level, const std::string& message);
+
+/// Formats and writes one whole line to stderr under an internal mutex, so
+/// concurrent log statements never interleave mid-line.
 void EmitLog(LogLevel level, const std::string& message);
 
 class LogMessage {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -89,6 +90,42 @@ TEST(AdmissionQueueTest, PerOutcomeCountersSplitCompletions) {
   EXPECT_EQ(stats.cancelled_in_queue, 2u);
   EXPECT_EQ(stats.deadline_in_queue, 1u);
   EXPECT_EQ(queue.InFlight(), 0u);
+}
+
+// Stats are one consistent snapshot, not a torn multi-counter read:
+// accepted == completed + in_flight holds in EVERY snapshot taken while
+// producers and consumers race (all three counters move under the same
+// mutex the snapshot copies them under).
+TEST(AdmissionQueueTest, StatsSnapshotInvariantHoldsUnderRace) {
+  AdmissionQueue queue(64);
+  AdmissionTask noop = [](bool) { return AdmissionOutcome::kExecuted; };
+  std::atomic<bool> stop{false};
+
+  std::thread worker([&queue, &noop] {
+    for (int i = 0; i < 4000; ++i) {
+      if (queue.Admit(noop, AdmitPolicy::kBlock) != AdmitResult::kAdmitted) break;
+      AdmissionTask task;
+      if (!queue.Pop(task)) break;
+      queue.Complete(task(/*aborted=*/false));
+    }
+  });
+  std::thread reader([&queue, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const AdmissionQueue::Stats stats = queue.stats();
+      ASSERT_EQ(stats.accepted, stats.completed + stats.in_flight)
+          << "torn stats snapshot";
+      ASSERT_LE(stats.cancelled_in_queue + stats.deadline_in_queue,
+                stats.completed);
+    }
+  });
+  worker.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const AdmissionQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 4000u);
+  EXPECT_EQ(stats.completed, 4000u);
+  EXPECT_EQ(stats.in_flight, 0u);
 }
 
 TEST(AdmissionQueueTest, CloseWakesBlockedProducer) {
@@ -459,6 +496,61 @@ TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
   }
   EXPECT_EQ(stats.graphs[0].completed, 8u);
   EXPECT_EQ(stats.graphs[0].inflight, 0u);
+}
+
+// Per-graph serving counters move atomically (one packed word): a reader
+// polling admission_stats() during a racing workload must never observe a
+// completion "in between" — inflight decremented but completed not yet
+// incremented, or vice versa. Without cancellations, completed and
+// inflight + completed are both non-decreasing across snapshots, and a
+// torn read would show a dip.
+TEST_F(AdmissionTest, PerGraphCountersNeverTearUnderRace) {
+  SeedMinEngine::Options options;
+  options.num_drivers = 2;
+  options.max_queue_depth = 16;
+  options.block_when_full = true;
+  SeedMinEngine engine(catalog_, options);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&engine, &stop] {
+    size_t last_completed = 0;
+    size_t last_ever = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SeedMinEngine::EngineStats stats = engine.admission_stats();
+      ASSERT_EQ(stats.queue.accepted,
+                stats.queue.completed + stats.queue.in_flight);
+      for (const auto& graph : stats.graphs) {
+        if (graph.name != "small") continue;
+        ASSERT_GE(graph.completed, last_completed) << "completed went backwards";
+        ASSERT_GE(graph.inflight + graph.completed, last_ever)
+            << "torn per-graph snapshot";
+        last_completed = graph.completed;
+        last_ever = graph.inflight + graph.completed;
+      }
+    }
+  });
+
+  constexpr size_t kRequests = 24;
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.SubmitAsync(SmallRequest(500 + i)));
+  }
+  for (auto& future : futures) {
+    const StatusOr<SolveResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  SeedMinEngine::EngineStats stats = engine.admission_stats();
+  for (int i = 0; i < 500 && stats.queue.completed < kRequests; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = engine.admission_stats();
+  }
+  ASSERT_EQ(stats.graphs.size(), 1u);
+  EXPECT_EQ(stats.graphs[0].completed, kRequests);
+  EXPECT_EQ(stats.graphs[0].inflight, 0u);
+  EXPECT_EQ(stats.queue.in_flight, 0u);
 }
 
 TEST_F(AdmissionTest, SolveBatchLargerThanCapacityCompletes) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -570,6 +571,145 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
       EXPECT_EQ(stats.graphs[0].epoch, 1u);
     }
   }
+}
+
+// --- Observability ----------------------------------------------------------
+
+// The profiling determinism contract: phase spans and metrics recording
+// are passive, so every result is bit-identical with metrics on or off.
+TEST_F(EngineTest, MetricsOnAndOffProduceBitIdenticalResults) {
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  SeedMinEngine::Options with_metrics;
+  with_metrics.num_threads = 2;
+  with_metrics.enable_metrics = true;
+  SeedMinEngine on(catalog_, with_metrics);
+  SeedMinEngine::Options without_metrics = with_metrics;
+  without_metrics.enable_metrics = false;
+  SeedMinEngine off(catalog_, without_metrics);
+  for (const SolveRequest& request : requests) {
+    const auto from_on = on.Solve(request);
+    const auto from_off = off.Solve(request);
+    ASSERT_TRUE(from_on.ok()) << from_on.status().ToString();
+    ASSERT_TRUE(from_off.ok()) << from_off.status().ToString();
+    EXPECT_EQ(Fingerprint(*from_on), Fingerprint(*from_off))
+        << AlgorithmName(request.algorithm);
+  }
+}
+
+TEST_F(EngineTest, SolveResultCarriesAPopulatedProfile) {
+  SeedMinEngine engine(catalog_, {2});  // enable_metrics defaults to true
+  const auto result = engine.Solve(AlphaRequest());  // ASTI: sampling-based
+  ASSERT_TRUE(result.ok());
+  const RequestProfile& profile = result->profile;
+  EXPECT_GT(profile.total_seconds, 0.0);
+  EXPECT_GT(profile.sampling_seconds, 0.0);
+  EXPECT_GT(profile.sets_generated, 0u);
+  EXPECT_GT(profile.collection_bytes, 0u);
+  EXPECT_EQ(profile.queue_wait_seconds, 0.0);  // synchronous path never queues
+  // Phases are disjoint pieces of the execution time.
+  EXPECT_LE(profile.sampling_seconds + profile.coverage_seconds +
+                profile.certify_seconds,
+            profile.total_seconds);
+
+  // The degree heuristic never samples: volume stays zero, total still set.
+  SolveRequest degree = AlphaRequest();
+  degree.algorithm = AlgorithmId::kDegree;
+  const auto heuristic = engine.Solve(degree);
+  ASSERT_TRUE(heuristic.ok());
+  EXPECT_EQ(heuristic->profile.sets_generated, 0u);
+  EXPECT_GT(heuristic->profile.total_seconds, 0.0);
+}
+
+TEST_F(EngineTest, MetricsOffStillFillsTotalButSkipsPhases) {
+  SeedMinEngine::Options options;
+  options.num_threads = 2;
+  options.enable_metrics = false;
+  SeedMinEngine engine(catalog_, options);
+  const auto result = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->profile.total_seconds, 0.0);
+  EXPECT_EQ(result->profile.sampling_seconds, 0.0);
+  EXPECT_EQ(result->profile.sets_generated, 0u);
+  // No per-request series were recorded.
+  const MetricsSnapshot snapshot = engine.metrics_snapshot();
+  EXPECT_EQ(snapshot.MergedHistogram("asti_request_latency_seconds").Count(), 0u);
+}
+
+TEST_F(EngineTest, MetricsSnapshotAggregatesServedRequests) {
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  SeedMinEngine engine(catalog_, {2});
+  for (const SolveRequest& request : requests) {
+    ASSERT_TRUE(engine.Solve(request).ok());
+  }
+  auto failing = AlphaRequest();
+  failing.eta = 0;  // rejected before execution: must not count
+  ASSERT_FALSE(engine.Solve(failing).ok());
+
+  const MetricsSnapshot snapshot = engine.metrics_snapshot();
+  // Every served request landed in the latency histogram, once.
+  EXPECT_EQ(snapshot.MergedHistogram("asti_request_latency_seconds").Count(),
+            requests.size());
+  EXPECT_EQ(snapshot.MergedHistogram("asti_queue_wait_seconds").Count(),
+            requests.size());
+  // Requests-total with outcome=OK sums to the served count across
+  // (graph, algorithm) label sets.
+  uint64_t ok_total = 0;
+  for (const CounterSample& counter : snapshot.counters) {
+    if (counter.name != "asti_requests_total") continue;
+    for (const auto& [key, value] : counter.labels) {
+      if (key == "outcome") {
+        EXPECT_EQ(value, "OK");
+      }
+      if (key == "graph") {
+        EXPECT_EQ(value, "alpha");
+      }
+    }
+    ok_total += counter.value;
+  }
+  EXPECT_EQ(ok_total, requests.size());
+  // Sampling-based requests recorded RR-set volume and phase time.
+  EXPECT_GT(snapshot.MergedHistogram("asti_phase_seconds").Count(), 0u);
+  // Synthesized admission/graph series ride along, and the snapshot is
+  // sorted so exporters emit families contiguously.
+  EXPECT_NE(snapshot.FindCounter("asti_admission_total",
+                                 {{"outcome", "completed"}}),
+            nullptr);
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LE(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  // Everything drained: the inflight gauge reads zero.
+  bool saw_inflight = false;
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    if (gauge.name == "asti_admission_inflight") {
+      saw_inflight = true;
+      EXPECT_EQ(gauge.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_inflight);
+}
+
+// Async requests observe a real (non-negative) queue wait, and queue wait
+// is part of total latency.
+TEST_F(EngineTest, AsyncRequestsRecordQueueWait) {
+  SeedMinEngine::Options options;
+  options.num_threads = 1;
+  options.num_drivers = 1;  // serialize: later requests must wait
+  SeedMinEngine engine(catalog_, options);
+  std::vector<std::future<StatusOr<SolveResult>>> futures;
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  for (const SolveRequest& request : requests) {
+    futures.push_back(engine.SubmitAsync(request));
+  }
+  double max_wait = 0.0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GE(result->profile.queue_wait_seconds, 0.0);
+    EXPECT_GE(result->profile.total_seconds, result->profile.queue_wait_seconds);
+    max_wait = std::max(max_wait, result->profile.queue_wait_seconds);
+  }
+  // With one driver, at least the last request genuinely queued.
+  EXPECT_GT(max_wait, 0.0);
 }
 
 // The parallel sampling/coverage path is pool-size invariant, so engine

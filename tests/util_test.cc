@@ -5,9 +5,13 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/bit_vector.h"
 #include "util/cancellation.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -288,6 +292,59 @@ TEST(EpochVisitedSetTest, ManyEpochsStayIsolated) {
     visited.MarkVisited(slot);
     EXPECT_TRUE(visited.Visited(slot));
   }
+}
+
+// --- Logging ----------------------------------------------------------------
+
+TEST(LoggingTest, FormatLogLinePinsTheShape) {
+  // "[LEVEL yyyy-mm-ddThh:mm:ss.mmmZ] message\n" — one complete line,
+  // built before any write so concurrent statements cannot interleave.
+  const std::string line =
+      internal::FormatLogLine(LogLevel::kWarning, "watch out");
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find("WARN "), 1u);
+  const size_t close = line.find("] ");
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(line.substr(close + 2), "watch out\n");
+  // Timestamp: "yyyy-mm-ddThh:mm:ss.mmmZ" (24 chars, UTC marker) between
+  // the level word and the closing bracket.
+  const size_t space = line.find(' ');
+  ASSERT_NE(space, std::string::npos);
+  const std::string stamp = line.substr(space + 1, close - space - 1);
+  ASSERT_EQ(stamp.size(), 24u);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp.back(), 'Z');
+
+  EXPECT_EQ(internal::FormatLogLine(LogLevel::kDebug, "x").find("DEBUG "), 1u);
+  EXPECT_EQ(internal::FormatLogLine(LogLevel::kInfo, "x").find("INFO "), 1u);
+  EXPECT_EQ(internal::FormatLogLine(LogLevel::kError, "x").find("ERROR "), 1u);
+  // An embedded newline stays the caller's problem; the terminator is
+  // appended exactly once.
+  const std::string multi = internal::FormatLogLine(LogLevel::kInfo, "a\nb");
+  EXPECT_EQ(multi.substr(multi.size() - 4), "a\nb\n");
+}
+
+TEST(LoggingTest, LevelGateIsThreadSafeAndRestorable) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        SetLogLevel(i % 2 == 0 ? LogLevel::kWarning : LogLevel::kError);
+        (void)GetLogLevel();  // racing reads must be tear-free (atomic)
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SetLogLevel(original);
+  EXPECT_EQ(GetLogLevel(), original);
 }
 
 }  // namespace
