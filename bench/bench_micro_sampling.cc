@@ -27,6 +27,7 @@
 #include "sampling/mrr_set.h"
 #include "sampling/root_size.h"
 #include "sampling/rr_set.h"
+#include "sampling/shared_collection.h"
 
 namespace asti {
 namespace {
@@ -186,6 +187,104 @@ void BM_ForwardPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardPropagation);
+
+// --- Shared-collection substrate ----------------------------------------
+
+// Growing a SharedRrCollection along a doubling ladder (batch, 2·batch,
+// 4·batch, 8·batch): measures the chunk-publish + coverage-checkpoint
+// overhead the sampler cache adds on top of bare generation into an owned
+// collection. Per-set streams are index-derived, as in the cache.
+void BM_SharedCollectionExtend(benchmark::State& state) {
+  const DirectedGraph& graph = BenchGraph();
+  RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+  const auto candidates = AllNodes(graph.NumNodes());
+  const Rng base(42);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SharedRrCollection shared(graph.NumNodes());
+    state.ResumeTiming();
+    for (size_t target = batch; target <= batch * 8; target *= 2) {
+      shared.ExtendTo(target, [&](size_t first, size_t count, RrCollection& staging) {
+        for (size_t i = 0; i < count; ++i) {
+          Rng rng = base.Split(first + i);
+          sampler.Generate(candidates, nullptr, staging, rng);
+        }
+      });
+    }
+    benchmark::DoNotOptimize(shared.SealedSets());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 8);
+}
+BENCHMARK(BM_SharedCollectionExtend)->Arg(64)->Arg(512);
+
+const RrCollection& OwnedBenchCollection() {
+  static const RrCollection collection = [] {
+    const DirectedGraph& graph = BenchGraph();
+    RrCollection c(graph.NumNodes());
+    RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+    const auto candidates = AllNodes(graph.NumNodes());
+    const Rng base(9);
+    for (size_t i = 0; i < 4096; ++i) {
+      Rng rng = base.Split(i);
+      sampler.Generate(candidates, nullptr, c, rng);
+    }
+    return c;
+  }();
+  return collection;
+}
+
+const SharedRrCollection& SharedBenchCollection() {
+  static SharedRrCollection* shared = [] {
+    const DirectedGraph& graph = BenchGraph();
+    auto* s = new SharedRrCollection(graph.NumNodes());
+    RrSampler sampler(graph, DiffusionModel::kIndependentCascade);
+    const auto candidates = AllNodes(graph.NumNodes());
+    const Rng base(9);  // same streams as OwnedBenchCollection: same sets
+    s->ExtendTo(4096, [&](size_t first, size_t count, RrCollection& staging) {
+      for (size_t i = 0; i < count; ++i) {
+        Rng rng = base.Split(first + i);
+        sampler.Generate(candidates, nullptr, staging, rng);
+      }
+    });
+    return s;
+  }();
+  return *shared;
+}
+
+// Scanning every set's node span through the three read surfaces that the
+// coverage solvers now see. Arg 0 reads the owned RrCollection directly;
+// arg 1 reads it through a borrowed CollectionView; arg 2 reads the same
+// sets through a shared-prefix view (single chunk). The view arms expose
+// the absolute cost of view dispatch — one predictable branch plus a part
+// indirection in CollectionView::Set, sub-ns per set even on this bare
+// size() scan — and must time identically to each other (borrow vs shared
+// prefix is free). Real solver loops touch every node of each set, so the
+// dispatch amortizes below noise (< 2%) end to end; the engine-level pin
+// for that is MetricsOnAndOffProduceBitIdenticalResults plus the
+// throughput bench's warm-speedup, which would regress if views taxed the
+// coverage path.
+void BM_CollectionViewRead(benchmark::State& state) {
+  const RrCollection& owned = OwnedBenchCollection();
+  const int mode = static_cast<int>(state.range(0));
+  size_t total = 0;
+  if (mode == 0) {
+    for (auto _ : state) {
+      for (size_t i = 0; i < owned.NumSets(); ++i) total += owned.Set(i).size();
+      benchmark::DoNotOptimize(total);
+    }
+  } else {
+    const CollectionView view = mode == 1
+                                    ? CollectionView(owned)
+                                    : SharedBenchCollection().Prefix(owned.NumSets());
+    for (auto _ : state) {
+      for (size_t i = 0; i < view.NumSets(); ++i) total += view.Set(i).size();
+      benchmark::DoNotOptimize(total);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * owned.NumSets());
+}
+BENCHMARK(BM_CollectionViewRead)->Arg(0)->Arg(1)->Arg(2);
 
 // --- Observability primitives -------------------------------------------
 

@@ -25,9 +25,12 @@
 // --algorithm NAME (see --list-algorithms; ASTI-b accepts any b >= 1),
 // --epsilon E, --threads T (1 = sequential, 0 = all cores), --runs R,
 // --seed S, --timeout SECONDS (abandon the run with DeadlineExceeded past
-// the budget; unset = no deadline), --save-traces PATH, --quiet,
-// --metrics (print the request's phase profile and the engine's metrics
-// snapshot in Prometheus text format after the run).
+// the budget; unset = no deadline), --no-cache (sample full-residual
+// collections into a request-private cache instead of the engine's shared
+// one — an A/B timing knob; seeds/spreads/traces are bit-identical either
+// way), --save-traces PATH, --quiet, --metrics (print the request's phase
+// profile — including cache_hit and reused-vs-extended set counts — and
+// the engine's metrics snapshot in Prometheus text format after the run).
 
 #include <iostream>
 
@@ -178,6 +181,9 @@ int Run(int argc, char** argv) {
     }
     request.deadline = DeadlineAfter(timeout);
   }
+  // A/B knob only: the shared and private cache paths produce bit-identical
+  // results (key-derived streams); --no-cache just skips cross-request reuse.
+  request.use_shared_cache = !cli.Has("no-cache");
   const int64_t threads = cli.GetInt("threads", 1);
   if (threads < 0) {
     std::cerr << "InvalidArgument: --threads must be >= 0, got " << threads << "\n";
@@ -234,7 +240,12 @@ int Run(int argc, char** argv) {
               << "s coverage=" << profile.coverage_seconds
               << "s certify=" << profile.certify_seconds
               << "s sets=" << profile.sets_generated
-              << " collection_bytes=" << profile.collection_bytes << "\n\n"
+              << " cache_hit=" << (profile.cache_hit ? "true" : "false")
+              << " sets_reused=" << profile.sets_reused
+              << " sets_extended=" << profile.sets_extended
+              << " collection_bytes=" << profile.collection_bytes
+              << " shared_collection_bytes=" << profile.shared_collection_bytes
+              << "\n\n"
               << ExportPrometheusText(engine.metrics_snapshot());
   }
 

@@ -98,6 +98,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
         options.pool = ctx.pool;
         options.cancel = ctx.cancel;
         options.profile = ctx.profile;
+        options.sampler_cache = ctx.sampler_cache;
         return std::unique_ptr<RoundSelector>(
             std::make_unique<Trim>(graph, ctx.model, options));
       }
@@ -109,6 +110,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.pool = ctx.pool;
       options.cancel = ctx.cancel;
       options.profile = ctx.profile;
+      options.sampler_cache = ctx.sampler_cache;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<TrimB>(graph, ctx.model, options));
     }
@@ -119,6 +121,7 @@ StatusOr<std::unique_ptr<RoundSelector>> AlgorithmRegistry::Make(
       options.pool = ctx.pool;
       options.cancel = ctx.cancel;
       options.profile = ctx.profile;
+      options.sampler_cache = ctx.sampler_cache;
       return std::unique_ptr<RoundSelector>(
           std::make_unique<AdaptIm>(graph, ctx.model, options));
     }

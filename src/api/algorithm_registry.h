@@ -26,6 +26,7 @@
 namespace asti {
 
 class DirectedGraph;
+class SamplerCache;
 class ThreadPool;
 
 /// Algorithms of the paper's evaluation (§6.1) plus the extra baselines.
@@ -83,6 +84,10 @@ struct AlgorithmContext {
   /// coverage / certify paths (not owned; may be null). Purely passive —
   /// see TrimOptions::profile.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache for full-residual (round-1) collections (not
+  /// owned; may be null = fully request-owned sampling). See
+  /// TrimOptions::sampler_cache and sampling/sampler_cache.h.
+  SamplerCache* sampler_cache = nullptr;
 };
 
 class AlgorithmRegistry {

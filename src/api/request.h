@@ -8,12 +8,14 @@
 // struct. The graph name is resolved against the engine's GraphCatalog at
 // admission; the request pins that snapshot (name, epoch) for its whole
 // execution, so hot-swapping the graph never perturbs in-flight work. A
-// request carries its own RNG seed, and every stream used to serve it is
-// derived from that seed alone (Rng::Split families), so a SolveResult is
-// a pure function of (graph snapshot, request) — bit-identical whether
-// the request runs solo, batched, or interleaved with other clients'
-// requests against the same or *different* catalog graphs on a shared
-// pool.
+// request carries its own RNG seed; request-owned streams (hidden worlds,
+// residual-round sampling) are derived from that seed alone, while shared
+// full-residual collections use streams derived from the sampler-cache KEY
+// (never any request's seed — see src/api/README.md). A SolveResult is
+// therefore a pure function of (graph snapshot, request) — bit-identical
+// whether the request runs solo, batched, interleaved with other clients
+// on a shared pool, against a warm or cold cache, or with
+// use_shared_cache off.
 
 #pragma once
 
@@ -71,6 +73,16 @@ struct SolveRequest {
   RootRounding rounding = RootRounding::kRandomized;
   /// MC trials per candidate for OracleGreedy.
   size_t oracle_trials = 200;
+  /// When true (default) the request's full-residual collections — ATEUC /
+  /// Bisection whole runs, round 1 of every adaptive algorithm — are served
+  /// from the engine's per-(graph, epoch) shared sampler cache. When false
+  /// the request samples those collections fresh into a request-private
+  /// cache (the asm_tool --no-cache A/B path). Results are BIT-IDENTICAL
+  /// either way: cache streams are derived from the cache key, never the
+  /// request seed (see src/api/README.md, "Sampler cache & certified
+  /// reuse"). Only timing, profile cache counters, and engine cache metrics
+  /// differ.
+  bool use_shared_cache = true;
   /// Cooperative cancellation handle (optional, not owned; may be shared
   /// by several requests). Must stay alive until this request's result —
   /// or future — resolves; the engine polls it at chunk/pick/round

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <tuple>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "core/asti.h"
 #include "diffusion/forward_sim.h"
 #include "diffusion/world.h"
+#include "sampling/sampler_cache.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -99,10 +101,21 @@ struct SeedMinEngine::GraphCounters {
 // its snapshot pin — dies with the last in-flight request holding it.
 struct SeedMinEngine::GraphState {
   GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters)
-      : ref(std::move(pinned)), counters(std::move(shared_counters)) {}
+      : ref(std::move(pinned)),
+        counters(std::move(shared_counters)),
+        sampler_cache(ref.graph()) {}
 
   const GraphRef ref;
   const std::shared_ptr<GraphCounters> counters;
+
+  // Shared full-residual sampler cache for THIS (name, epoch) snapshot.
+  // Living inside the per-epoch state gives invalidation for free: a
+  // catalog Swap/Retire makes new requests resolve a fresh GraphState (and
+  // thus an empty cache), while requests still executing on the old epoch
+  // keep their pinned state — and its cache — alive through their
+  // ServingSlot shared_ptr. CollectionViews handed out pin their chunks
+  // independently, so even the last slot dying mid-read is safe.
+  SamplerCache sampler_cache;
 
   // Free list of forward-simulation scratch (visited epochs, frontier
   // buffers) sized for this snapshot. Borrowing hands a simulator to one
@@ -347,6 +360,10 @@ StatusOr<SolveResult> SeedMinEngine::SolveOn(GraphState& state,
                 ? RunBisectionRequest(state, request, scope, slots)
                 : RunAdaptive(state, request, scope, slots);
   profile.total_seconds = queue_wait_seconds + exec_timer.Seconds();
+  // A request is a cache hit iff every cacheable collection it read came
+  // entirely from already-sealed prefixes. Computed once here (not in the
+  // cache) because one request may Acquire many ladder prefixes.
+  profile.cache_hit = profile.sets_reused > 0 && profile.sets_extended == 0;
   if (result.ok()) {
     result->graph_name = state.ref.name;
     result->graph_epoch = state.ref.epoch;
@@ -391,8 +408,11 @@ void SeedMinEngine::RecordRequestMetrics(const GraphState& state,
         .Record(to_nanos(seconds));
   }
   registry_.GetCounter("asti_rr_sets_total", labels).Add(profile.sets_generated);
+  registry_.GetCounter("asti_rr_sets_reused_total", labels).Add(profile.sets_reused);
   registry_.GetHistogram("asti_collection_bytes", labels)
       .Record(profile.collection_bytes);
+  registry_.GetHistogram("asti_shared_collection_bytes", labels)
+      .Record(profile.shared_collection_bytes);
 }
 
 MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
@@ -425,6 +445,31 @@ MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
     snapshot.gauges.push_back({"asti_graph_epoch",
                                {{"graph", graph.name}},
                                static_cast<int64_t>(graph.epoch)});
+  }
+  // Per-graph sampler-cache families, read straight off each live
+  // GraphState's cache (relaxed monotone counters; a snapshot racing an
+  // Acquire sees a consistent-enough point-in-time view). A swapped or
+  // retired graph's old cache drops out of the snapshot with its state —
+  // the series describe the epoch currently being served.
+  {
+    std::lock_guard<std::mutex> lock(states_mutex_);
+    for (const auto& [name, state] : graph_states_) {
+      const MetricLabels graph_label = {{"graph", name}};
+      const SamplerCacheStats cache = state->sampler_cache.Stats();
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_hits_total", graph_label, cache.hits});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_misses_total", graph_label, cache.misses});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_extensions_total", graph_label, cache.extensions});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_sets_reused_total", graph_label, cache.sets_reused});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_sets_extended_total", graph_label, cache.sets_extended});
+      snapshot.gauges.push_back(
+          {"asti_sampler_cache_bytes", graph_label,
+           static_cast<int64_t>(state->sampler_cache.TotalBytes())});
+    }
   }
   auto by_identity = [](const auto& a, const auto& b) {
     return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
@@ -553,6 +598,13 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(GraphState& state,
                                                  const CancelScope& scope,
                                                  RequestProfile* profile) {
   const DirectedGraph& graph = state.ref.graph();
+  // Full-residual collections come from the epoch's shared cache, or — for
+  // --no-cache A/B runs — a request-private one. Streams are key-derived
+  // either way, so the choice never changes seeds/spreads/traces.
+  std::optional<SamplerCache> private_cache;
+  SamplerCache* sampler_cache = request.use_shared_cache
+                                    ? &state.sampler_cache
+                                    : &private_cache.emplace(graph);
   AlgorithmContext ctx;
   ctx.graph = &graph;
   ctx.model = request.model;
@@ -564,6 +616,7 @@ StatusOr<SolveResult> SeedMinEngine::RunAdaptive(GraphState& state,
   ctx.pool = pool_.get();
   ctx.cancel = &scope;
   ctx.profile = profile;
+  ctx.sampler_cache = sampler_cache;
 
   SolveResult result;
   std::vector<AdaptiveRunTrace> traces;
@@ -628,11 +681,15 @@ StatusOr<SolveResult> SeedMinEngine::RunAteucRequest(GraphState& state,
                                                      const CancelScope& scope,
                                                      RequestProfile* profile) {
   Rng select_rng = StreamFor(request.seed, kAteucDomain, 0);
+  std::optional<SamplerCache> private_cache;
   AteucOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
   options.cancel = &scope;
   options.profile = profile;
+  options.sampler_cache = request.use_shared_cache
+                              ? &state.sampler_cache
+                              : &private_cache.emplace(state.ref.graph());
   WallTimer select_timer;
   const AteucResult selection =
       RunAteuc(state.ref.graph(), request.model, request.eta, options, select_rng);
@@ -650,11 +707,15 @@ StatusOr<SolveResult> SeedMinEngine::RunBisectionRequest(GraphState& state,
                                                          const CancelScope& scope,
                                                          RequestProfile* profile) {
   Rng select_rng = StreamFor(request.seed, kBisectionDomain, 0);
+  std::optional<SamplerCache> private_cache;
   BisectionOptions options;
   options.num_threads = options_.num_threads;
   options.pool = pool_.get();
   options.cancel = &scope;
   options.profile = profile;
+  options.sampler_cache = request.use_shared_cache
+                              ? &state.sampler_cache
+                              : &private_cache.emplace(state.ref.graph());
   WallTimer select_timer;
   const BisectionResult selection = RunBisectionSeedMin(
       state.ref.graph(), request.model, request.eta, options, select_rng);

@@ -31,22 +31,38 @@
 // Status::ResourceExhausted (or blocks, with Options::block_when_full)
 // instead of spawning unbounded threads onto the shared pool.
 //
+// Sampler cache: each (name, epoch) GraphState owns a SamplerCache of
+// grow-only SharedRrCollections holding the full-residual RR/mRR sets —
+// the whole of ATEUC/Bisection and round 1 of every adaptive policy —
+// shared across every request on that snapshot. Requests read atomically
+// published sealed prefixes of EXACTLY the sets their doubling schedule
+// asks for and extend only the shortfall; streams are derived from the
+// cache KEY (never a request seed), so a set's content is independent of
+// which request generated it. A Swap/Retire invalidates by construction:
+// new requests resolve a fresh state with an empty cache, old-epoch work
+// keeps its pinned cache alive. request.use_shared_cache = false swaps in
+// a request-private cache (timing A/B) with bit-identical results.
+//
 // Observability: with Options::enable_metrics (the default) every served
 // request carries a populated RequestProfile on its SolveResult (queue
-// wait, sampling/coverage/certify seconds, sampling volume) and feeds the
-// engine-wide MetricsRegistry — latency/queue-wait/phase histograms and
-// per-outcome counters keyed {graph, algorithm} — exposed via
-// metrics_snapshot() and the obs/export.h exporters. Profiling is passive
-// (spans never touch RNG streams, partitioning, or merge order), so
-// results are bit-identical with metrics on or off. Every RNG
-// stream serving a request is derived from request.seed alone, so
-// *completed* results are bit-identical — in every field except the
-// wall-clock timings (trace seconds, aggregate mean_seconds), which
-// measure the run that produced them — whether a request runs solo, in
-// SolveBatch, queued behind other requests, or interleaved with requests
-// against other catalog graphs, at any pool size != 1 (pool size 1 uses
-// the sequential reference sampling path, which is deterministic too but
-// follows the paper's in-place stream protocol). See src/api/README.md.
+// wait, sampling/coverage/certify seconds, sampling volume, cache_hit and
+// reused-vs-extended set counts, request-owned vs shared collection
+// bytes) and feeds the engine-wide MetricsRegistry — latency/queue-wait/
+// phase histograms and per-outcome counters keyed {graph, algorithm},
+// plus per-graph asti_sampler_cache_* hit/miss/extension/bytes families —
+// exposed via metrics_snapshot() and the obs/export.h exporters.
+// Profiling is passive (spans never touch RNG streams, partitioning, or
+// merge order), so results are bit-identical with metrics on or off.
+// Request-owned RNG streams derive from request.seed alone and shared
+// cache streams from the cache key alone, so *completed* results are
+// bit-identical — in every field except the wall-clock timings (trace
+// seconds, aggregate mean_seconds), which measure the run that produced
+// them — whether a request runs solo, in SolveBatch, queued behind other
+// requests, interleaved with requests against other catalog graphs,
+// against a cold or warm cache, or with the cache disabled, at any pool
+// size != 1 (pool size 1 uses the sequential reference sampling path,
+// which is deterministic too but follows the paper's in-place stream
+// protocol). See src/api/README.md.
 
 #pragma once
 

@@ -10,6 +10,7 @@ namespace asti {
 
 AdaptIm::AdaptIm(const DirectedGraph& graph, DiffusionModel model, AdaptImOptions options)
     : graph_(&graph),
+      model_(model),
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
@@ -34,12 +35,40 @@ SelectionResult AdaptIm::SelectBatch(const ResidualView& view, Rng& rng) {
   const double theta_max = 2.0 * n_d * root * root / (eps_hat * eps_hat);
   const size_t theta_zero = static_cast<size_t>(
       std::max(1.0, std::ceil(theta_max * eps_hat * eps_hat / n_d)));
-  const size_t max_iterations =
-      static_cast<size_t>(
-          std::ceil(std::log2(theta_max / static_cast<double>(theta_zero)))) + 1;
+  const size_t max_iterations = DoublingLadderIterations(theta_zero, theta_max);
   const double t_d = static_cast<double>(max_iterations);
   const double a1 = std::log(3.0 * t_d / delta) + std::log(n_d);
   const double a2 = std::log(3.0 * t_d / delta);
+
+  // Round 1 (full residual): serve the doubling ladder from the shared
+  // single-root RR entry — the same (kRr, model) entry ATEUC and Bisection
+  // read — consuming zero draws from `rng` (see Trim::SelectBatch).
+  if (options_.sampler_cache != nullptr && ni == graph_->NumNodes()) {
+    const SamplerCacheKey key = SamplerCacheKey::Rr(model_);
+    SelectionResult result;
+    for (size_t t = 1; t <= max_iterations; ++t) {
+      const size_t want = DoublingLadderSets(theta_zero, t);
+      const CollectionView sets = options_.sampler_cache->Acquire(
+          key, want, engine_.pool(), options_.cancel, options_.profile);
+      if (sets.NumSets() < want || Fired(options_.cancel)) return SelectionResult{};
+      const NodeId v_star = ArgMaxCoverage(sets, engine_.pool(), options_.profile);
+      const double coverage = static_cast<double>(sets.Coverage(v_star));
+      double lower, upper;
+      {
+        PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+        lower = CoverageLowerBound(coverage, a1);
+        upper = CoverageUpperBound(coverage, a2);
+      }
+      result.iterations = t;
+      if (lower / upper >= 1.0 - eps_hat || t == max_iterations) {
+        result.seeds = {v_star};
+        result.estimated_marginal_gain = n_d * coverage / static_cast<double>(want);
+        result.num_samples = want;
+        return result;
+      }
+    }
+    ASM_CHECK(false) << "unreachable: AdaptIM always returns by iteration T";
+  }
 
   collection_.Clear();
   auto generate = [&](size_t count) {

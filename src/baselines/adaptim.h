@@ -20,6 +20,7 @@
 #include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
 #include "sampling/rr_set.h"
+#include "sampling/sampler_cache.h"
 
 namespace asti {
 
@@ -34,6 +35,10 @@ struct AdaptImOptions {
   const CancelScope* cancel = nullptr;
   /// Per-request phase profile; semantics as TrimOptions::profile.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache; semantics as TrimOptions::sampler_cache. The
+  /// round-1 single-root RR entry is shared with ATEUC/Bisection (same
+  /// full-graph distribution, key (kRr, model)).
+  SamplerCache* sampler_cache = nullptr;
 };
 
 /// Untruncated-marginal-spread round selector.
@@ -48,6 +53,7 @@ class AdaptIm : public RoundSelector {
 
  private:
   const DirectedGraph* graph_;
+  DiffusionModel model_;
   AdaptImOptions options_;
   RrSampler sampler_;
   RrCollection collection_;

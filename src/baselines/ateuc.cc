@@ -8,6 +8,7 @@
 #include "parallel/parallel_sampler.h"
 #include "parallel/thread_pool.h"
 #include "sampling/rr_collection.h"
+#include "sampling/shared_collection.h"
 #include "sampling/rr_set.h"
 #include "stats/concentration.h"
 #include "util/bit_vector.h"
@@ -26,7 +27,7 @@ struct GreedyCurve {
   std::vector<uint32_t> cumulative_coverage;  // after pick i
 };
 
-GreedyCurve GreedyCoverageCurve(const RrCollection& collection, size_t cap,
+GreedyCurve GreedyCoverageCurve(const CollectionView& collection, size_t cap,
                                 ThreadPool* pool, const CancelScope* cancel,
                                 RequestProfile* profile) {
   PhaseSpan span(profile, RequestPhase::kCoverage);
@@ -83,10 +84,19 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
     // A fired scope short-circuits the doubling ladder: return the best
     // candidate so far (possibly no seeds) and let the caller discard it.
     if (Fired(options.cancel)) return result;
-    if (ParallelRrSampler* parallel = engine.get()) {
+    CollectionView sets;
+    if (options.sampler_cache != nullptr) {
+      // Whole-run reuse: the exact ladder length keeps the result
+      // independent of how many sets the cache already held.
+      sets = options.sampler_cache->Acquire(SamplerCacheKey::Rr(model), target_samples,
+                                            engine.pool(), options.cancel,
+                                            options.profile);
+      if (sets.NumSets() < target_samples) return result;  // cancelled mid-extension
+    } else if (ParallelRrSampler* parallel = engine.get()) {
       parallel->GenerateBatch(all_nodes, nullptr, target_samples - collection.NumSets(),
                               collection, rng);
       if (Fired(options.cancel)) return result;  // batch aborted at a stride boundary
+      sets = collection;
     } else {
       PhaseSpan span(options.profile, RequestPhase::kSampling);
       const size_t before = collection.NumSets();
@@ -98,11 +108,12 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
       }
       NoteSampling(options.profile, collection.NumSets() - before,
                    collection.MemoryBytes());
+      sets = collection;
     }
-    const double theta = static_cast<double>(collection.NumSets());
+    const double theta = static_cast<double>(sets.NumSets());
     // Greedy can never need more than η picks: each pick either covers a
     // new set or coverage is exhausted.
-    const GreedyCurve curve = GreedyCoverageCurve(collection, eta, engine.pool(),
+    const GreedyCurve curve = GreedyCoverageCurve(sets, eta, engine.pool(),
                                                   options.cancel, options.profile);
     if (Fired(options.cancel)) return result;  // curve truncated mid-pick; bounds unusable
     // Everything from here to the doubling decision is bound evaluation.
@@ -139,7 +150,7 @@ AteucResult RunAteuc(const DirectedGraph& graph, DiffusionModel model, NodeId et
     }
 
     result.doublings = round;
-    result.num_samples = collection.NumSets();
+    result.num_samples = sets.NumSets();
     if (s_u > 0) {
       result.seeds.assign(curve.picks.begin(), curve.picks.begin() + s_u);
       result.optimal_lower_bound = s_l;

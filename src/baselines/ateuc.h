@@ -29,6 +29,7 @@
 #include "diffusion/model.h"
 #include "graph/graph.h"
 #include "obs/span.h"
+#include "sampling/sampler_cache.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 
@@ -58,6 +59,12 @@ struct AteucOptions {
   const CancelScope* cancel = nullptr;
   /// Per-request phase profile; semantics as TrimOptions::profile.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache; when set, EVERY doubling round reads the
+  /// (kRr, model) entry's sealed prefix at the exact ladder length
+  /// initial_samples·2^round instead of growing an owned collection —
+  /// ATEUC samples the full graph throughout, so its entire run is
+  /// cacheable — and the run consumes zero draws from `rng`.
+  SamplerCache* sampler_cache = nullptr;
 };
 
 /// Result of the one-shot (non-adaptive) selection.

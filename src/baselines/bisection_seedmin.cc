@@ -5,6 +5,7 @@
 #include "coverage/max_coverage.h"
 #include "parallel/parallel_sampler.h"
 #include "sampling/rr_collection.h"
+#include "sampling/shared_collection.h"
 #include "sampling/rr_set.h"
 #include "util/check.h"
 
@@ -27,28 +28,37 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   ParallelEngine engine(graph, model, options.num_threads, options.pool,
                         options.cancel, options.profile);
   BisectionResult result;
-  if (ParallelRrSampler* parallel = engine.get()) {
-    parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);
+  CollectionView sets;
+  if (options.sampler_cache != nullptr) {
+    sets = options.sampler_cache->Acquire(SamplerCacheKey::Rr(model), options.samples,
+                                          engine.pool(), options.cancel,
+                                          options.profile);
+    if (sets.NumSets() < options.samples) return result;  // cancelled mid-extension
   } else {
-    PhaseSpan span(options.profile, RequestPhase::kSampling);
-    RrSampler sampler(graph, model);
-    collection.Reserve(options.samples);
-    size_t generated = 0;
-    while (collection.NumSets() < options.samples) {
-      if (generated++ % 64 == 0 && Fired(options.cancel)) break;
-      sampler.Generate(all_nodes, nullptr, collection, rng);
+    if (ParallelRrSampler* parallel = engine.get()) {
+      parallel->GenerateBatch(all_nodes, nullptr, options.samples, collection, rng);
+    } else {
+      PhaseSpan span(options.profile, RequestPhase::kSampling);
+      RrSampler sampler(graph, model);
+      collection.Reserve(options.samples);
+      size_t generated = 0;
+      while (collection.NumSets() < options.samples) {
+        if (generated++ % 64 == 0 && Fired(options.cancel)) break;
+        sampler.Generate(all_nodes, nullptr, collection, rng);
+      }
+      NoteSampling(options.profile, collection.NumSets(), collection.MemoryBytes());
     }
-    NoteSampling(options.profile, collection.NumSets(), collection.MemoryBytes());
+    sets = collection;
   }
-  if (Fired(options.cancel) || collection.NumSets() == 0) return result;  // doomed; discard
-  result.num_samples = collection.NumSets();
-  const double theta = static_cast<double>(collection.NumSets());
+  if (Fired(options.cancel) || sets.NumSets() == 0) return result;  // doomed; discard
+  result.num_samples = sets.NumSets();
+  const double theta = static_cast<double>(sets.NumSets());
   const double target = options.target_slack * static_cast<double>(eta);
 
   auto spread_of_k = [&](NodeId k) {
     ++result.im_evaluations;
     const MaxCoverageResult greedy = GreedyMaxCoverage(
-        collection, k, nullptr, engine.pool(), options.cancel, options.profile);
+        sets, k, nullptr, engine.pool(), options.cancel, options.profile);
     return static_cast<double>(n) * static_cast<double>(greedy.covered_sets) / theta;
   };
 
@@ -72,7 +82,7 @@ BisectionResult RunBisectionSeedMin(const DirectedGraph& graph, DiffusionModel m
   if (Fired(options.cancel)) return result;
 
   const MaxCoverageResult final_greedy = GreedyMaxCoverage(
-      collection, high, nullptr, engine.pool(), options.cancel, options.profile);
+      sets, high, nullptr, engine.pool(), options.cancel, options.profile);
   result.seeds = final_greedy.selected;
   result.estimated_spread =
       static_cast<double>(n) * static_cast<double>(final_greedy.covered_sets) / theta;

@@ -17,6 +17,7 @@
 #include "diffusion/model.h"
 #include "graph/graph.h"
 #include "obs/span.h"
+#include "sampling/sampler_cache.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 
@@ -39,6 +40,10 @@ struct BisectionOptions {
   const CancelScope* cancel = nullptr;
   /// Per-request phase profile; semantics as TrimOptions::profile.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache; when set, the single full-graph RR batch is the
+  /// first `samples` sets of the (kRr, model) entry — shared with ATEUC and
+  /// AdaptIM round 1 — and the run consumes zero draws from `rng`.
+  SamplerCache* sampler_cache = nullptr;
 };
 
 /// Result of the bisection run.

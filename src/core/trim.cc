@@ -29,8 +29,7 @@ TrimSchedule ComputeTrimSchedule(NodeId num_inactive, NodeId shortfall, double e
       schedule.theta_max * schedule.eps_hat * schedule.eps_hat / ni;
   schedule.theta_zero = static_cast<size_t>(std::max(1.0, std::ceil(theta_zero)));
   schedule.max_iterations =
-      static_cast<size_t>(std::ceil(std::log2(
-          schedule.theta_max / static_cast<double>(schedule.theta_zero)))) + 1;
+      DoublingLadderIterations(schedule.theta_zero, schedule.theta_max);
   const double t = static_cast<double>(schedule.max_iterations);
   schedule.a1 = std::log(3.0 * t / schedule.delta) + std::log(ni);
   schedule.a2 = std::log(3.0 * t / schedule.delta);
@@ -39,6 +38,7 @@ TrimSchedule ComputeTrimSchedule(NodeId num_inactive, NodeId shortfall, double e
 
 Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options)
     : graph_(&graph),
+      model_(model),
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
@@ -47,12 +47,52 @@ Trim::Trim(const DirectedGraph& graph, DiffusionModel model, TrimOptions options
   ASM_CHECK(options_.epsilon > 0.0 && options_.epsilon < 1.0);
 }
 
+SelectionResult Trim::SelectCached(const TrimSchedule& schedule, NodeId shortfall) {
+  const SamplerCacheKey key = SamplerCacheKey::Mrr(model_, shortfall, options_.rounding);
+  SelectionResult result;
+  for (size_t t = 1; t <= schedule.max_iterations; ++t) {
+    const size_t want = DoublingLadderSets(schedule.theta_zero, t);
+    const CollectionView sets = options_.sampler_cache->Acquire(
+        key, want, engine_.pool(), options_.cancel, options_.profile);
+    // A short view means cancellation fired before the extension published.
+    if (sets.NumSets() < want || Fired(options_.cancel)) return SelectionResult{};
+    const NodeId v_star = ArgMaxCoverage(sets, engine_.pool(), options_.profile);
+    const double coverage = static_cast<double>(sets.Coverage(v_star));
+    double lower, upper;
+    {
+      PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+      lower = CoverageLowerBound(coverage, schedule.a1);
+      upper = CoverageUpperBound(coverage, schedule.a2);
+    }
+    result.iterations = t;
+    if (lower / upper >= 1.0 - schedule.eps_hat || t == schedule.max_iterations) {
+      result.seeds = {v_star};
+      result.estimated_marginal_gain =
+          static_cast<double>(shortfall) * coverage / static_cast<double>(want);
+      result.num_samples = want;
+      return result;
+    }
+  }
+  ASM_CHECK(false) << "unreachable: TRIM always returns by iteration T";
+  return result;
+}
+
 SelectionResult Trim::SelectBatch(const ResidualView& view, Rng& rng) {
   const NodeId ni = view.NumInactive();
   const NodeId eta_i = view.shortfall;
   ASM_CHECK(eta_i >= 1 && eta_i <= ni);
 
   const TrimSchedule schedule = ComputeTrimSchedule(ni, eta_i, options_.epsilon);
+
+  // Round 1 samples the full residual (every node inactive) — the only
+  // round whose distribution is request-independent, hence cacheable. The
+  // cached path consumes ZERO draws from `rng`, so all later rounds see
+  // identical request streams whether this round hit, extended, or (with a
+  // request-private cache, --no-cache) freshly sampled.
+  if (options_.sampler_cache != nullptr && ni == graph_->NumNodes()) {
+    return SelectCached(schedule, eta_i);
+  }
+
   const RootSizeSampler root_size(ni, eta_i, options_.rounding);
 
   collection_.Clear();

@@ -18,8 +18,11 @@
 #include "parallel/thread_pool.h"
 #include "sampling/mrr_set.h"
 #include "sampling/rr_collection.h"
+#include "sampling/sampler_cache.h"
 
 namespace asti {
+
+struct TrimSchedule;
 
 /// Tuning knobs for TRIM; defaults mirror the paper's experiments (ε = 0.5).
 struct TrimOptions {
@@ -44,6 +47,14 @@ struct TrimOptions {
   /// coverage / certify wall time and sampling volume; never read by the
   /// algorithm, so selections are bit-identical with or without it.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache (not owned; may be null). When set, the ROUND-1
+  /// batch — the only one whose sampling distribution is residual-free —
+  /// asks the cache for the exact ladder prefixes instead of generating an
+  /// owned collection, and consumes zero draws from the request RNG (cache
+  /// streams are key-derived; see sampling/sampler_cache.h). Later rounds
+  /// condition on activations and always sample into owned collections.
+  /// Null = the legacy fully request-owned path.
+  SamplerCache* sampler_cache = nullptr;
 };
 
 /// Single-seed truncated influence maximizer.
@@ -58,7 +69,13 @@ class Trim : public RoundSelector {
   const char* Name() const override { return "ASTI"; }
 
  private:
+  /// The doubling loop against cached sealed prefixes (round 1 with a
+  /// sampler cache): per iteration, ask for the EXACT ladder prefix —
+  /// results are therefore independent of whatever the cache holds.
+  SelectionResult SelectCached(const TrimSchedule& schedule, NodeId shortfall);
+
   const DirectedGraph* graph_;
+  DiffusionModel model_;
   TrimOptions options_;
   MrrSampler sampler_;
   RrCollection collection_;

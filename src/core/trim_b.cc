@@ -35,8 +35,7 @@ TrimBSchedule ComputeTrimBSchedule(NodeId num_inactive, NodeId shortfall, NodeId
       schedule.theta_max * b * schedule.eps_hat * schedule.eps_hat / ni;
   schedule.theta_zero = static_cast<size_t>(std::max(1.0, std::ceil(theta_zero)));
   schedule.max_iterations =
-      static_cast<size_t>(std::ceil(std::log2(
-          schedule.theta_max / static_cast<double>(schedule.theta_zero)))) + 1;
+      DoublingLadderIterations(schedule.theta_zero, schedule.theta_max);
   const double t = static_cast<double>(schedule.max_iterations);
   schedule.a1 = std::log(3.0 * t / schedule.delta) + ln_choose;
   schedule.a2 = std::log(3.0 * t / schedule.delta);
@@ -45,6 +44,7 @@ TrimBSchedule ComputeTrimBSchedule(NodeId num_inactive, NodeId shortfall, NodeId
 
 TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions options)
     : graph_(&graph),
+      model_(model),
       options_(options),
       sampler_(graph, model),
       collection_(graph.NumNodes()),
@@ -55,6 +55,40 @@ TrimB::TrimB(const DirectedGraph& graph, DiffusionModel model, TrimBOptions opti
   ASM_CHECK(options_.batch_size >= 1);
 }
 
+SelectionResult TrimB::SelectCached(const TrimBSchedule& schedule, NodeId shortfall,
+                                    NodeId batch, const ResidualView& view) {
+  const SamplerCacheKey key = SamplerCacheKey::Mrr(model_, shortfall, options_.rounding);
+  SelectionResult result;
+  for (size_t t = 1; t <= schedule.max_iterations; ++t) {
+    const size_t want = DoublingLadderSets(schedule.theta_zero, t);
+    const CollectionView sets = options_.sampler_cache->Acquire(
+        key, want, engine_.pool(), options_.cancel, options_.profile);
+    if (sets.NumSets() < want || Fired(options_.cancel)) return SelectionResult{};
+    const MaxCoverageResult greedy =
+        LazyGreedyMaxCoverage(sets, batch, view.inactive_nodes, engine_.pool(),
+                              options_.cancel, options_.profile);
+    if (Fired(options_.cancel)) return SelectionResult{};
+    const double coverage = static_cast<double>(greedy.covered_sets);
+    double lower, upper;
+    {
+      PhaseSpan certify(options_.profile, RequestPhase::kCertify);
+      lower = CoverageLowerBound(coverage, schedule.a1);
+      upper = CoverageUpperBound(coverage / schedule.rho_b, schedule.a2);
+    }
+    result.iterations = t;
+    if (lower / upper >= schedule.rho_b * (1.0 - schedule.eps_hat) ||
+        t == schedule.max_iterations) {
+      result.seeds = greedy.selected;
+      result.estimated_marginal_gain =
+          static_cast<double>(shortfall) * coverage / static_cast<double>(want);
+      result.num_samples = want;
+      return result;
+    }
+  }
+  ASM_CHECK(false) << "unreachable: TRIM-B always returns by iteration T";
+  return result;
+}
+
 SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
   const NodeId ni = view.NumInactive();
   const NodeId eta_i = view.shortfall;
@@ -62,6 +96,13 @@ SelectionResult TrimB::SelectBatch(const ResidualView& view, Rng& rng) {
   const NodeId batch = std::min<NodeId>(options_.batch_size, ni);
 
   const TrimBSchedule schedule = ComputeTrimBSchedule(ni, eta_i, batch, options_.epsilon);
+
+  // Round 1 (full residual) is request-independent, hence served from the
+  // sampler cache with zero request-RNG draws; see Trim::SelectBatch.
+  if (options_.sampler_cache != nullptr && ni == graph_->NumNodes()) {
+    return SelectCached(schedule, eta_i, batch, view);
+  }
+
   const RootSizeSampler root_size(ni, eta_i, options_.rounding);
 
   collection_.Clear();

@@ -17,8 +17,11 @@
 #include "parallel/thread_pool.h"
 #include "sampling/mrr_set.h"
 #include "sampling/rr_collection.h"
+#include "sampling/sampler_cache.h"
 
 namespace asti {
+
+struct TrimBSchedule;
 
 /// Tuning knobs for TRIM-B.
 struct TrimBOptions {
@@ -34,6 +37,9 @@ struct TrimBOptions {
   const CancelScope* cancel = nullptr;
   /// Per-request phase profile; semantics as TrimOptions::profile.
   RequestProfile* profile = nullptr;
+  /// Shared sampler cache; semantics as TrimOptions::sampler_cache (round-1
+  /// batches reuse the cache's sealed prefixes, zero request-RNG draws).
+  SamplerCache* sampler_cache = nullptr;
 };
 
 /// Batched truncated influence maximizer.
@@ -49,7 +55,13 @@ class TrimB : public RoundSelector {
   const char* Name() const override { return name_.c_str(); }
 
  private:
+  /// Round-1 doubling loop against cached sealed prefixes; requests exact
+  /// ladder prefix lengths, so results are cache-state-independent.
+  SelectionResult SelectCached(const TrimBSchedule& schedule, NodeId shortfall,
+                               NodeId batch, const ResidualView& view);
+
   const DirectedGraph* graph_;
+  DiffusionModel model_;
   TrimBOptions options_;
   MrrSampler sampler_;
   RrCollection collection_;

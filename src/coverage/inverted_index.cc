@@ -19,7 +19,7 @@ constexpr size_t kMinMeanCoverage = 4;
 
 }  // namespace
 
-InvertedIndex BuildInvertedIndex(const RrCollection& collection, ThreadPool* pool) {
+InvertedIndex BuildInvertedIndex(const CollectionView& collection, ThreadPool* pool) {
   const NodeId n = collection.num_nodes();
   const size_t num_sets = collection.NumSets();
 

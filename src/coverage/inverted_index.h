@@ -1,4 +1,5 @@
-// Node → set-id inverted index over an RrCollection.
+// Node → set-id inverted index over a collection view (owned RrCollections
+// convert implicitly; shared cache prefixes index identically).
 //
 // Every coverage solver starts from the same structure: for each node v,
 // the ids of the stored sets containing v, in ascending set order (CSR
@@ -16,7 +17,7 @@
 
 #include "graph/types.h"
 #include "parallel/thread_pool.h"
-#include "sampling/rr_collection.h"
+#include "sampling/shared_collection.h"
 
 namespace asti {
 
@@ -34,7 +35,7 @@ struct InvertedIndex {
 
 /// Builds the index; with a non-null multi-worker `pool` the counting sort
 /// runs as parallel per-chunk partitions. Output is identical either way.
-InvertedIndex BuildInvertedIndex(const RrCollection& collection,
+InvertedIndex BuildInvertedIndex(const CollectionView& collection,
                                  ThreadPool* pool = nullptr);
 
 }  // namespace asti

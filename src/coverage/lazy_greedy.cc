@@ -30,7 +30,7 @@ struct HeapEntry {
 
 }  // namespace
 
-MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+MaxCoverageResult LazyGreedyMaxCoverage(const CollectionView& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates,
                                         ThreadPool* pool, const CancelScope* cancel,
                                         RequestProfile* profile) {

@@ -17,14 +17,14 @@
 
 #include "coverage/max_coverage.h"
 #include "parallel/thread_pool.h"
-#include "sampling/rr_collection.h"
+#include "sampling/shared_collection.h"
 
 namespace asti {
 
 /// Lazy (CELF) variant of GreedyMaxCoverage; identical result contract
 /// (including candidate deduplication, thread-count invariance, and the
 /// per-pick `cancel` poll returning a to-be-discarded partial result).
-MaxCoverageResult LazyGreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+MaxCoverageResult LazyGreedyMaxCoverage(const CollectionView& collection, NodeId budget,
                                         const std::vector<NodeId>* candidates = nullptr,
                                         ThreadPool* pool = nullptr,
                                         const CancelScope* cancel = nullptr,

@@ -67,13 +67,13 @@ NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>
   return best;
 }
 
-NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool,
+NodeId ArgMaxCoverage(const CollectionView& collection, ThreadPool* pool,
                       RequestProfile* profile) {
   ASM_CHECK(collection.num_nodes() > 0);
   return ArgMaxScore(collection.CoverageCounts(), nullptr, nullptr, pool, profile);
 }
 
-MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+MaxCoverageResult GreedyMaxCoverage(const CollectionView& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates,
                                     ThreadPool* pool, const CancelScope* cancel,
                                     RequestProfile* profile) {
@@ -127,7 +127,7 @@ double GreedyCoverageRatio(NodeId budget) {
 
 namespace {
 
-void EnumerateSubsets(const RrCollection& collection, NodeId budget, NodeId first,
+void EnumerateSubsets(const CollectionView& collection, NodeId budget, NodeId first,
                       std::vector<NodeId>& current, MaxCoverageResult& best) {
   if (current.size() == budget) {
     BitVector covered(collection.NumSets());
@@ -156,7 +156,7 @@ void EnumerateSubsets(const RrCollection& collection, NodeId budget, NodeId firs
 
 }  // namespace
 
-MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget) {
+MaxCoverageResult ExactMaxCoverage(const CollectionView& collection, NodeId budget) {
   ASM_CHECK(budget >= 1 && budget <= collection.num_nodes());
   MaxCoverageResult best;
   std::vector<NodeId> current;

@@ -17,7 +17,7 @@
 
 #include "obs/span.h"
 #include "parallel/thread_pool.h"
-#include "sampling/rr_collection.h"
+#include "sampling/shared_collection.h"
 #include "util/bit_vector.h"
 #include "util/cancellation.h"
 
@@ -42,7 +42,7 @@ struct MaxCoverageResult {
 /// discard it — completed runs are unaffected by the polls). A non-null
 /// `profile` accrues the call's wall time into its coverage slot; it is
 /// never read by the solver, so selections are unchanged by it.
-MaxCoverageResult GreedyMaxCoverage(const RrCollection& collection, NodeId budget,
+MaxCoverageResult GreedyMaxCoverage(const CollectionView& collection, NodeId budget,
                                     const std::vector<NodeId>* candidates = nullptr,
                                     ThreadPool* pool = nullptr,
                                     const CancelScope* cancel = nullptr,
@@ -53,7 +53,7 @@ double GreedyCoverageRatio(NodeId budget);
 
 /// Exhaustive optimum over all size-`budget` subsets of [0, n).
 /// Exponential; only for small test instances (n choose b ≤ ~1e6).
-MaxCoverageResult ExactMaxCoverage(const RrCollection& collection, NodeId budget);
+MaxCoverageResult ExactMaxCoverage(const CollectionView& collection, NodeId budget);
 
 /// Node maximizing score[v] with the (score, lowest id) rule, scanning
 /// [0, score.size()) or `domain` when non-null, skipping nodes with
@@ -69,7 +69,7 @@ NodeId ArgMaxScore(const std::vector<uint32_t>& score, const std::vector<NodeId>
 /// Λ_R argmax over the collection's coverage counts ((coverage, lowest id)
 /// rule) — RrCollection::ArgMaxCoverage with an optional pool behind it.
 /// The b = 1 selection TRIM/AdaptIM run every certify iteration.
-NodeId ArgMaxCoverage(const RrCollection& collection, ThreadPool* pool,
+NodeId ArgMaxCoverage(const CollectionView& collection, ThreadPool* pool,
                       RequestProfile* profile = nullptr);
 
 /// First occurrence of every node in `candidates`, later duplicates

@@ -36,7 +36,18 @@ struct RequestProfile {
   double certify_seconds = 0.0;     // bound evaluation + doubling decisions
   double total_seconds = 0.0;       // queue wait + execution, whole request
   uint64_t sets_generated = 0;      // RR/mRR sets produced for this request
-  uint64_t collection_bytes = 0;    // peak RrCollection footprint observed
+  /// Peak footprint of REQUEST-OWNED collections only (residual rounds,
+  /// hidden worlds). Cache-resident storage is accounted separately below
+  /// so shared bytes are never double-charged to every request using them.
+  uint64_t collection_bytes = 0;
+  /// Peak footprint of the shared (cache-resident) collections this request
+  /// read or extended.
+  uint64_t shared_collection_bytes = 0;
+  uint64_t sets_reused = 0;    // sets served from a sampler-cache sealed prefix
+  uint64_t sets_extended = 0;  // sets this request generated INTO the cache
+  /// True when every cacheable stage was served entirely from sealed
+  /// prefixes (sets_reused > 0 and sets_extended == 0).
+  bool cache_hit = false;
 };
 
 /// The profile slots a span can accumulate into.
@@ -85,6 +96,19 @@ inline void NoteSampling(RequestProfile* profile, uint64_t sets, uint64_t bytes)
   if (profile == nullptr) return;
   profile->sets_generated += sets;
   profile->collection_bytes = std::max(profile->collection_bytes, bytes);
+}
+
+/// Null-tolerant shared-cache accounting: `reused` sets served from sealed
+/// prefixes, `extended` sets generated into the cache by this request
+/// (extended sets also count toward sets_generated — the request did the
+/// sampling work), cache-resident footprint currently `bytes` (peak kept).
+inline void NoteSharedSampling(RequestProfile* profile, uint64_t reused, uint64_t extended,
+                               uint64_t bytes) {
+  if (profile == nullptr) return;
+  profile->sets_reused += reused;
+  profile->sets_extended += extended;
+  profile->sets_generated += extended;
+  profile->shared_collection_bytes = std::max(profile->shared_collection_bytes, bytes);
 }
 
 }  // namespace asti

@@ -58,6 +58,27 @@ void ParallelRrSampler::MergeInto(RrCollection& out) {
   NoteSampling(profile_, total_sets, out.MemoryBytes());
 }
 
+template <class GenerateOne>
+void ParallelRrSampler::RunIndexed(size_t first_index, size_t count, RrCollection& out,
+                                   const Rng& base, GenerateOne&& generate_one) {
+  if (count == 0) return;
+  PhaseSpan span(profile_, RequestPhase::kSampling);
+  for (auto& worker : workers_) worker->buffer.Clear();
+  // Cancellation semantics match RunBatch; here a fired scope leaves the
+  // merged output short of `count`, which the shared-collection extender
+  // detects and discards (global indices must stay hole-free).
+  constexpr size_t kCancelStride = 64;
+  pool_->ParallelFor(count, [&](size_t chunk, size_t begin, size_t end) {
+    Worker& worker = *workers_[chunk];
+    for (size_t i = begin; i < end; ++i) {
+      if ((i - begin) % kCancelStride == 0 && Fired(cancel_)) return;
+      Rng set_rng = base.Split(first_index + i);
+      generate_one(worker, set_rng);
+    }
+  });
+  MergeInto(out);
+}
+
 void ParallelRrSampler::GenerateBatch(const std::vector<NodeId>& candidates,
                                       const BitVector* active, size_t count,
                                       RrCollection& out, Rng& rng) {
@@ -71,6 +92,25 @@ void ParallelRrSampler::GenerateMrrBatch(const std::vector<NodeId>& candidates,
                                          const RootSizeSampler& root_size, size_t count,
                                          RrCollection& out, Rng& rng) {
   RunBatch(count, out, rng, [&](Worker& worker, Rng& set_rng) {
+    const NodeId num_roots = root_size.Sample(set_rng);
+    worker.mrr.Generate(candidates, active, num_roots, worker.buffer, set_rng);
+  });
+}
+
+void ParallelRrSampler::GenerateIndexed(const std::vector<NodeId>& candidates,
+                                        const BitVector* active, size_t first_index,
+                                        size_t count, RrCollection& out, const Rng& base) {
+  RunIndexed(first_index, count, out, base, [&](Worker& worker, Rng& set_rng) {
+    worker.rr.Generate(candidates, active, worker.buffer, set_rng);
+  });
+}
+
+void ParallelRrSampler::GenerateMrrIndexed(const std::vector<NodeId>& candidates,
+                                           const BitVector* active,
+                                           const RootSizeSampler& root_size,
+                                           size_t first_index, size_t count,
+                                           RrCollection& out, const Rng& base) {
+  RunIndexed(first_index, count, out, base, [&](Worker& worker, Rng& set_rng) {
     const NodeId num_roots = root_size.Sample(set_rng);
     worker.mrr.Generate(candidates, active, num_roots, worker.buffer, set_rng);
   });

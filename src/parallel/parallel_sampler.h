@@ -67,6 +67,26 @@ class ParallelRrSampler {
                         const RootSizeSampler& root_size, size_t count,
                         RrCollection& out, Rng& rng);
 
+  // --- Index-keyed generation (shared sampler cache) -----------------------
+  // Set first_index + i draws its stream directly from
+  // base.Split(first_index + i): no batch split, no draws consumed from any
+  // caller RNG. Content of a global index is therefore a pure function of
+  // (base, index) — independent of request history, extension batching, and
+  // thread count — which is the mechanism behind the cached-vs-fresh
+  // bit-identity contract (see sampling/sampler_cache.h).
+
+  /// Appends single-root RR-sets for global indices
+  /// [first_index, first_index + count) to `out`.
+  void GenerateIndexed(const std::vector<NodeId>& candidates, const BitVector* active,
+                       size_t first_index, size_t count, RrCollection& out,
+                       const Rng& base);
+
+  /// mRR variant; set i samples its root count from `root_size` out of its
+  /// own indexed stream before traversing.
+  void GenerateMrrIndexed(const std::vector<NodeId>& candidates, const BitVector* active,
+                          const RootSizeSampler& root_size, size_t first_index,
+                          size_t count, RrCollection& out, const Rng& base);
+
  private:
   // Scratch owned by ParallelFor chunk index (not OS thread): chunk c
   // writes only to workers_[c], keeping the merge order deterministic.
@@ -82,6 +102,11 @@ class ParallelRrSampler {
   // then merges buffers and costs.
   template <class GenerateOne>
   void RunBatch(size_t count, RrCollection& out, Rng& rng, GenerateOne&& generate_one);
+
+  // Same fan-out with per-set streams base.Split(first_index + i).
+  template <class GenerateOne>
+  void RunIndexed(size_t first_index, size_t count, RrCollection& out, const Rng& base,
+                  GenerateOne&& generate_one);
 
   void MergeInto(RrCollection& out);
 

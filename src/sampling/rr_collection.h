@@ -45,6 +45,13 @@ class RrCollection {
     return {pool_.data() + offsets_[i], pool_.data() + offsets_[i + 1]};
   }
 
+  /// Pool offset where set i begins (SetOffset(NumSets()) == TotalEntries()).
+  /// Lets a prefix view compute Σ |R| over its first i sets in O(1).
+  size_t SetOffset(size_t i) const {
+    ASM_DCHECK(i < offsets_.size());
+    return offsets_[i];
+  }
+
   /// Λ_R(v): number of stored sets containing v.
   uint32_t Coverage(NodeId v) const {
     ASM_DCHECK(v < num_nodes_);

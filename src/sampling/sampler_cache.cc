@@ -1,0 +1,140 @@
+#include "sampling/sampler_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/parallel_sampler.h"
+#include "sampling/mrr_set.h"
+#include "sampling/rr_set.h"
+
+namespace asti {
+
+namespace {
+
+// Root of every cache stream family. A fixed constant — NOT a request
+// seed — so cached collections are a pure function of (graph snapshot,
+// cache key), which is what makes any request history produce the same
+// sets. Changing it is a determinism-breaking change (documented in
+// src/api/README.md).
+constexpr uint64_t kCacheStreamSeed = 0xa57150cc5eed0007ULL;
+
+}  // namespace
+
+SamplerCache::Entry::Entry(const DirectedGraph& graph, const SamplerCacheKey& key)
+    : collection(graph.NumNodes()),
+      base(Rng(kCacheStreamSeed)
+               .Split(static_cast<uint64_t>(key.kind))
+               .Split(static_cast<uint64_t>(key.model))
+               .Split(key.eta)
+               .Split(static_cast<uint64_t>(key.rounding))) {
+  if (key.kind == SamplerCacheKey::Kind::kMrr) {
+    // Round-1 root-count law: n_i = n, η_i = η (full residual).
+    root_size.emplace(graph.NumNodes(), key.eta, key.rounding);
+  }
+}
+
+SamplerCache::SamplerCache(const DirectedGraph& graph)
+    : graph_(&graph), all_nodes_(graph.NumNodes()) {
+  std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
+}
+
+SamplerCache::Entry& SamplerCache::EntryFor(const SamplerCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Entry>& slot = entries_[key];
+  if (slot == nullptr) slot = std::make_unique<Entry>(*graph_, key);
+  return *slot;
+}
+
+namespace {
+
+// Sequential extension with the identical per-set stream derivation as
+// ParallelRrSampler::RunIndexed, so pool-less engines produce bit-identical
+// cache contents to pooled ones.
+template <class GenerateOne>
+void GenerateSequential(size_t count, const Rng& base, size_t first_index,
+                        const CancelScope* cancel, GenerateOne&& generate_one) {
+  constexpr size_t kCancelStride = 64;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % kCancelStride == 0 && Fired(cancel)) return;
+    Rng set_rng = base.Split(first_index + i);
+    generate_one(set_rng);
+  }
+}
+
+}  // namespace
+
+CollectionView SamplerCache::Acquire(const SamplerCacheKey& key, size_t target,
+                                     ThreadPool* pool, const CancelScope* cancel,
+                                     RequestProfile* profile) {
+  ASM_CHECK(target > 0);
+  Entry& entry = EntryFor(key);
+  size_t extended = 0;
+  if (entry.collection.SealedSets() < target) {
+    PhaseSpan span(profile, RequestPhase::kSampling);
+    const bool first_fill = entry.collection.SealedSets() == 0;
+    entry.collection.ExtendTo(
+        target, [&](size_t first, size_t count, RrCollection& staging) {
+          if (pool != nullptr) {
+            // The inner sampler gets a null profile: extension time is
+            // charged through the PhaseSpan above, and the staging
+            // collection's bytes belong to the SHARED accounting below,
+            // not the request-owned collection_bytes peak.
+            ParallelRrSampler sampler(*graph_, key.model, *pool, cancel,
+                                      /*profile=*/nullptr);
+            if (key.kind == SamplerCacheKey::Kind::kRr) {
+              sampler.GenerateIndexed(all_nodes_, nullptr, first, count, staging,
+                                      entry.base);
+            } else {
+              sampler.GenerateMrrIndexed(all_nodes_, nullptr, *entry.root_size, first,
+                                         count, staging, entry.base);
+            }
+          } else if (key.kind == SamplerCacheKey::Kind::kRr) {
+            RrSampler sampler(*graph_, key.model);
+            GenerateSequential(count, entry.base, first, cancel, [&](Rng& set_rng) {
+              sampler.Generate(all_nodes_, nullptr, staging, set_rng);
+            });
+          } else {
+            MrrSampler sampler(*graph_, key.model);
+            GenerateSequential(count, entry.base, first, cancel, [&](Rng& set_rng) {
+              const NodeId num_roots = entry.root_size->Sample(set_rng);
+              sampler.Generate(all_nodes_, nullptr, num_roots, staging, set_rng);
+            });
+          }
+          if (staging.NumSets() == count) extended = count;
+        });
+    if (extended > 0) {
+      (first_fill ? misses_ : extensions_).fetch_add(1, std::memory_order_relaxed);
+      sets_extended_.fetch_add(extended, std::memory_order_relaxed);
+    }
+  }
+  // A short serve (< target) happens only when cancellation fired before
+  // the extension published; callers treat it as a cancelled request.
+  const size_t served = std::min(target, entry.collection.SealedSets());
+  const size_t reused = served - std::min(served, extended);
+  if (extended == 0 && served == target) hits_.fetch_add(1, std::memory_order_relaxed);
+  sets_reused_.fetch_add(reused, std::memory_order_relaxed);
+  NoteSharedSampling(profile, reused, extended, entry.collection.MemoryBytes());
+  return entry.collection.Prefix(served);
+}
+
+size_t SamplerCache::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    bytes += entry->collection.MemoryBytes();
+  }
+  return bytes;
+}
+
+SamplerCacheStats SamplerCache::Stats() const {
+  SamplerCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.extensions = extensions_.load(std::memory_order_relaxed);
+  stats.sets_reused = sets_reused_.load(std::memory_order_relaxed);
+  stats.sets_extended = sets_extended_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace asti

@@ -1,0 +1,139 @@
+// Cross-request sampler cache: certified reuse of full-residual RR/mRR
+// collections, keyed by what the sampling distribution actually depends on.
+//
+// A collection is cacheable exactly when its distribution is a pure
+// function of the graph snapshot — i.e. when sampling sees the FULL
+// residual (every node inactive). That covers the whole of ATEUC and
+// Bisection, and round 1 of every adaptive policy (TRIM, TRIM-B, AdaptIM);
+// later adaptive rounds condition on observed activations and stay on
+// request-owned collections. Within one cache entry, requests needing θ
+// sets take the sealed prefix of length exactly θ — the OPIM-C grow-only
+// reuse argument — and extend only the shortfall.
+//
+// Key: (kind rr/mrr, diffusion model); mRR entries additionally carry
+// (η, rounding) because the randomized root-count distribution depends on
+// them. The graph snapshot itself is NOT in the key: one SamplerCache hangs
+// off one engine GraphState, which is already keyed by (name, epoch), so
+// GraphCatalog::Swap/Retire invalidate by construction — a hot-swap makes
+// requests resolve a fresh GraphState with an empty cache, and live views
+// on the old cache stay valid through their chunk pins.
+//
+// Determinism contract (the load-bearing part): per-set streams are
+// base.Split(global_index), where `base` is a pure function of the CACHE
+// KEY — never of a request seed. Set i's content is therefore identical no
+// matter which request generated it, at what batch size, on how many
+// threads, or whether it came from the shared cache or a request-private
+// one (`--no-cache`). Cached paths consume ZERO draws from the request RNG,
+// so everything downstream of them is also stream-identical cached vs not.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "diffusion/model.h"
+#include "graph/graph.h"
+#include "obs/span.h"
+#include "parallel/thread_pool.h"
+#include "sampling/root_size.h"
+#include "sampling/shared_collection.h"
+#include "stats/truncation.h"
+#include "util/cancellation.h"
+#include "util/rng.h"
+
+namespace asti {
+
+/// What a full-residual collection's distribution depends on.
+struct SamplerCacheKey {
+  enum class Kind : uint8_t { kRr, kMrr };
+
+  Kind kind = Kind::kRr;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// mRR only (root-count distribution); 0 for single-root RR.
+  NodeId eta = 0;
+  /// mRR only; kRandomized for single-root RR.
+  RootRounding rounding = RootRounding::kRandomized;
+
+  /// Single-root RR over the full graph (ATEUC / Bisection / AdaptIM
+  /// round 1 all share this entry).
+  static SamplerCacheKey Rr(DiffusionModel model) {
+    return SamplerCacheKey{Kind::kRr, model, 0, RootRounding::kRandomized};
+  }
+
+  /// Full-residual mRR with the round-1 root-count law (n_i = n, η_i = η).
+  static SamplerCacheKey Mrr(DiffusionModel model, NodeId eta, RootRounding rounding) {
+    return SamplerCacheKey{Kind::kMrr, model, eta, rounding};
+  }
+
+  friend auto operator<=>(const SamplerCacheKey&, const SamplerCacheKey&) = default;
+};
+
+/// Monotone counters, readable while requests run (metrics snapshots).
+struct SamplerCacheStats {
+  uint64_t hits = 0;        // Acquire served entirely from the sealed prefix
+  uint64_t misses = 0;      // Acquire on an empty entry
+  uint64_t extensions = 0;  // Acquire had to grow a non-empty entry
+  uint64_t sets_reused = 0;
+  uint64_t sets_extended = 0;
+};
+
+/// Per-GraphState cache of SharedRrCollections. Thread-safe: any number of
+/// concurrent Acquire calls (readers and extenders mix freely).
+class SamplerCache {
+ public:
+  /// The graph must outlive the cache (the engine's GraphState holds the
+  /// snapshot shared_ptr that guarantees this).
+  explicit SamplerCache(const DirectedGraph& graph);
+
+  /// Returns a view of EXACTLY the first `target` sets of the entry for
+  /// `key`, extending the shared collection first if it is short. The view
+  /// is only shorter than `target` when `cancel` fired mid-extension; the
+  /// caller must treat that as cancellation and unwind.
+  ///
+  /// `pool` (nullable) runs the extension's traversals in parallel —
+  /// results are bit-identical with any pool size including none.
+  /// `profile` (nullable) accrues sampling wall time for extensions plus
+  /// the reused/extended set counts and the shared-bytes gauge; it never
+  /// influences generation.
+  CollectionView Acquire(const SamplerCacheKey& key, size_t target, ThreadPool* pool,
+                         const CancelScope* cancel, RequestProfile* profile);
+
+  /// Resident bytes across every entry's chunks and checkpoints.
+  size_t TotalBytes() const;
+
+  SamplerCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    Entry(const DirectedGraph& graph, const SamplerCacheKey& key);
+
+    SharedRrCollection collection;
+    /// Root of every per-set stream: pure function of the key (below).
+    Rng base;
+    /// mRR entries only.
+    std::optional<RootSizeSampler> root_size;
+  };
+
+  Entry& EntryFor(const SamplerCacheKey& key);
+
+  const DirectedGraph* graph_;
+  /// Canonical full-residual candidate list (0..n-1); what round 1 of every
+  /// policy passes today, and what ATEUC/Bisection call `all_nodes`.
+  std::vector<NodeId> all_nodes_;
+
+  mutable std::mutex mutex_;  // guards entries_ map shape only
+  std::map<SamplerCacheKey, std::unique_ptr<Entry>> entries_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> extensions_{0};
+  std::atomic<uint64_t> sets_reused_{0};
+  std::atomic<uint64_t> sets_extended_{0};
+};
+
+}  // namespace asti

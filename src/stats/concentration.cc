@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/check.h"
 
@@ -64,6 +65,24 @@ double LogBinomial(double n, double k) {
   ASM_CHECK(n >= k && k >= 0.0);
   if (k == 0.0 || k == n) return 0.0;
   return LGamma(n + 1.0) - LGamma(k + 1.0) - LGamma(n - k + 1.0);
+}
+
+size_t DoublingLadderSets(size_t theta_zero, size_t iteration) {
+  if (iteration == 0) return 0;
+  size_t sets = theta_zero;
+  for (size_t t = 1; t < iteration; ++t) {
+    if (sets > SIZE_MAX / 2) return SIZE_MAX;  // saturate, never wrap
+    sets *= 2;
+  }
+  return sets;
+}
+
+size_t DoublingLadderIterations(size_t theta_zero, double theta_max) {
+  ASM_CHECK(theta_zero >= 1);
+  if (theta_max <= static_cast<double>(theta_zero)) return 1;
+  return static_cast<size_t>(
+             std::ceil(std::log2(theta_max / static_cast<double>(theta_zero)))) +
+         1;
 }
 
 }  // namespace asti

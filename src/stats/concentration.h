@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace asti {
 
@@ -33,5 +34,25 @@ double ChernoffLowerTail(double expectation_mean, double lambda, size_t trials);
 
 /// ln C(n, k) via lgamma; used by TRIM-B's union bound over size-b sets.
 double LogBinomial(double n, double k);
+
+// --- Needed-sets queries (doubling schedules) -------------------------------
+// The OPIM-C-style doubling loops (TRIM Alg. 2, TRIM-B Alg. 3, AdaptIM's
+// EPIC schedule) all sample θ° sets up front and double until the Lemma A.2
+// bounds certify. These two helpers make the schedule's sample counts a
+// queryable function instead of loop-private state — the admission query
+// the shared sampler cache uses to ask for EXACT prefix lengths (so a
+// request's collection sizes are independent of what the cache happens to
+// hold), and the quantity stats_test pins against the legacy loops.
+
+/// Sets held after `iteration` (1-based) rounds of the doubling schedule:
+/// θ°·2^(iteration−1), saturating instead of overflowing. Monotone in both
+/// arguments. iteration == 0 yields 0.
+size_t DoublingLadderSets(size_t theta_zero, size_t iteration);
+
+/// Number of ladder iterations needed to reach θ_max starting from θ°:
+/// ⌈log2(θ_max/θ°)⌉ + 1 — the T every schedule derives its per-iteration
+/// confidence budget (a₁, a₂) from. Requires theta_zero ≥ 1; returns 1 when
+/// θ_max ≤ θ°.
+size_t DoublingLadderIterations(size_t theta_zero, double theta_max);
 
 }  // namespace asti

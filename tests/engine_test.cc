@@ -712,6 +712,158 @@ TEST_F(EngineTest, AsyncRequestsRecordQueueWait) {
   EXPECT_GT(max_wait, 0.0);
 }
 
+// --- Sampler cache ----------------------------------------------------------
+
+// The tentpole determinism contract: a request is bit-identical whether
+// its full-residual collections are freshly sampled (cold cache), served
+// entirely from another request's sealed prefixes (warm cache), or
+// sampled into a request-private cache (use_shared_cache = false) — at
+// every pool size, because cache streams derive from the cache key, not
+// the request seed.
+TEST_F(EngineTest, ColdWarmAndPrivateCacheAgreeAtEveryPoolSize) {
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // Solo / cold: a fresh engine per request, nothing shared.
+    std::vector<std::string> solo;
+    for (const SolveRequest& request : requests) {
+      SeedMinEngine engine(catalog_, {threads});
+      const auto result = engine.Solve(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      solo.push_back(Fingerprint(*result));
+    }
+    // Warm: one engine, two sequential passes; the second pass reads
+    // sealed prefixes another request published.
+    SeedMinEngine warm(catalog_, {threads});
+    for (const SolveRequest& request : requests) {
+      ASSERT_TRUE(warm.Solve(request).ok());
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const auto result = warm.Solve(requests[i]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(Fingerprint(*result), solo[i])
+          << "threads=" << threads << " warm request=" << i;
+    }
+    // Private: the --no-cache path samples the same collections fresh.
+    SeedMinEngine isolated(catalog_, {threads});
+    for (size_t i = 0; i < requests.size(); ++i) {
+      SolveRequest request = requests[i];
+      request.use_shared_cache = false;
+      const auto result = isolated.Solve(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(Fingerprint(*result), solo[i])
+          << "threads=" << threads << " no-cache request=" << i;
+    }
+  }
+}
+
+// Concurrent extenders: several copies of the mixed workload submitted at
+// once race to extend the SAME shared collections (the two TRIM-family
+// requests share the round-1 mRR entry, ATEUC and Bisection the RR
+// entry). Every copy must still equal the solo cold run, at every pool
+// size — reuse never depends on who won the extension race.
+TEST_F(EngineTest, RacingCacheExtendersMatchSoloAtEveryPoolSize) {
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // Solo cold reference at the same pool size (residual rounds consume
+    // the request stream through the pool-size-matched sampler).
+    std::vector<std::string> solo;
+    for (const SolveRequest& request : requests) {
+      SeedMinEngine engine(catalog_, {threads});
+      const auto result = engine.Solve(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      solo.push_back(Fingerprint(*result));
+    }
+    SeedMinEngine::Options options;
+    options.num_threads = threads;
+    options.num_drivers = 4;
+    SeedMinEngine engine(catalog_, options);
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    constexpr size_t kCopies = 3;
+    for (size_t copy = 0; copy < kCopies; ++copy) {
+      for (const SolveRequest& request : requests) {
+        futures.push_back(engine.SubmitAsync(request));
+      }
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const auto result = futures[i].get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(Fingerprint(*result), solo[i % requests.size()])
+          << "threads=" << threads << " submission=" << i;
+    }
+  }
+}
+
+// Profile satellite: request-owned and shared collection bytes are
+// reported separately, and the cache_hit flag with the reused/extended
+// counts distinguishes the run that grew the cache from the one that rode
+// it.
+TEST_F(EngineTest, ProfileSplitsSharedAndOwnedCollectionBytes) {
+  SeedMinEngine engine(catalog_, {2});
+  const auto cold = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(cold.ok());
+  // ASTI round 1 reads the shared cache; the cold run had to extend it.
+  EXPECT_GT(cold->profile.shared_collection_bytes, 0u);
+  EXPECT_GT(cold->profile.sets_extended, 0u);
+  EXPECT_FALSE(cold->profile.cache_hit);
+  // Rounds >= 2 condition on activations and sample request-owned
+  // collections, so both byte families are populated and distinct.
+  EXPECT_GT(cold->profile.collection_bytes, 0u);
+
+  const auto warm = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->profile.cache_hit);
+  EXPECT_GT(warm->profile.sets_reused, 0u);
+  EXPECT_EQ(warm->profile.sets_extended, 0u);
+  EXPECT_EQ(warm->profile.shared_collection_bytes,
+            cold->profile.shared_collection_bytes);
+
+  // A non-sampling heuristic touches neither family.
+  SolveRequest degree = AlphaRequest();
+  degree.algorithm = AlgorithmId::kDegree;
+  const auto heuristic = engine.Solve(degree);
+  ASSERT_TRUE(heuristic.ok());
+  EXPECT_EQ(heuristic->profile.shared_collection_bytes, 0u);
+  EXPECT_EQ(heuristic->profile.sets_reused, 0u);
+  EXPECT_FALSE(heuristic->profile.cache_hit);
+}
+
+// The engine exports the per-graph sampler-cache families, and the
+// per-request reuse counter accumulates across served requests.
+TEST_F(EngineTest, SamplerCacheMetricsFamiliesAppear) {
+  SeedMinEngine engine(catalog_, {2});
+  ASSERT_TRUE(engine.Solve(AlphaRequest()).ok());  // cold: misses/extensions
+  ASSERT_TRUE(engine.Solve(AlphaRequest()).ok());  // warm: hits/reuse
+
+  const MetricsSnapshot snapshot = engine.metrics_snapshot();
+  const CounterSample* hits =
+      snapshot.FindCounter("asti_sampler_cache_hits_total", {{"graph", "alpha"}});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GT(hits->value, 0u);
+  const CounterSample* misses =
+      snapshot.FindCounter("asti_sampler_cache_misses_total", {{"graph", "alpha"}});
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->value, 0u);
+  const CounterSample* reused = snapshot.FindCounter(
+      "asti_sampler_cache_sets_reused_total", {{"graph", "alpha"}});
+  ASSERT_NE(reused, nullptr);
+  EXPECT_GT(reused->value, 0u);
+  bool saw_bytes = false;
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    if (gauge.name == "asti_sampler_cache_bytes") {
+      saw_bytes = true;
+      EXPECT_GT(gauge.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_bytes);
+  // The per-(graph, algorithm) reuse counter rode along with the request
+  // families.
+  uint64_t total_reused = 0;
+  for (const CounterSample& counter : snapshot.counters) {
+    if (counter.name == "asti_rr_sets_reused_total") total_reused += counter.value;
+  }
+  EXPECT_GT(total_reused, 0u);
+}
+
 // The parallel sampling/coverage path is pool-size invariant, so engine
 // results agree across every pool size > 1.
 TEST_F(EngineTest, PoolSizesAboveOneAgree) {

@@ -1,10 +1,15 @@
 // Tests for stats/concentration.h and stats/truncation.h: Lemma A.2 bound
-// behaviour, empirical coverage, and Theorem 3.3's closed-form ratios.
+// behaviour, empirical coverage, Theorem 3.3's closed-form ratios, and the
+// needed-sets (doubling ladder) queries the sampler cache serves.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "core/trim.h"
+#include "core/trim_b.h"
 #include "stats/concentration.h"
 #include "stats/truncation.h"
 #include "util/rng.h"
@@ -91,6 +96,92 @@ TEST(ConcentrationTest, LogBinomialMatchesSmallCases) {
   EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
   EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-9);
   EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+// --- Needed-sets queries (doubling schedules) ------------------------------
+
+TEST(DoublingLadderTest, SetsAreThetaZeroTimesPowersOfTwo) {
+  EXPECT_EQ(DoublingLadderSets(5, 0), 0u);
+  EXPECT_EQ(DoublingLadderSets(5, 1), 5u);
+  EXPECT_EQ(DoublingLadderSets(5, 2), 10u);
+  EXPECT_EQ(DoublingLadderSets(5, 4), 40u);
+  EXPECT_EQ(DoublingLadderSets(1, 11), 1024u);
+}
+
+TEST(DoublingLadderTest, SetsSaturateInsteadOfWrapping) {
+  EXPECT_EQ(DoublingLadderSets(SIZE_MAX / 2 + 2, 2), SIZE_MAX);
+  EXPECT_EQ(DoublingLadderSets(3, 4000), SIZE_MAX);
+}
+
+// Differential pin against the legacy doubling loops: before the sampler
+// cache, TRIM/TRIM-B/AdaptIM grew an owned collection in place
+// (|R| -> 2|R|) with T = ceil(log2(theta_max/theta_zero)) + 1. The ladder
+// query must reproduce EXACTLY the collection sizes and stopping point
+// that loop visited, or cached runs would certify on different prefixes
+// than fresh ones.
+TEST(DoublingLadderTest, MatchesLegacyDoublingLoopStoppingPoint) {
+  for (size_t theta_zero : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                            size_t{64}, size_t{1000}}) {
+    for (double factor : {0.5, 1.0, 1.0001, 1.5, 2.0, 3.9, 4.0, 17.3, 1e6}) {
+      const double theta_max = static_cast<double>(theta_zero) * factor;
+      // The legacy loop: start at theta_zero, double until >= theta_max.
+      size_t legacy_sets = theta_zero;
+      size_t legacy_iterations = 1;
+      while (static_cast<double>(legacy_sets) < theta_max) {
+        legacy_sets *= 2;
+        ++legacy_iterations;
+      }
+      const size_t iterations = DoublingLadderIterations(theta_zero, theta_max);
+      EXPECT_EQ(iterations, legacy_iterations)
+          << "theta_zero=" << theta_zero << " theta_max=" << theta_max;
+      // Every intermediate rung matches the in-place doubled size.
+      size_t sets = theta_zero;
+      for (size_t t = 1; t <= iterations; ++t) {
+        EXPECT_EQ(DoublingLadderSets(theta_zero, t), sets) << "t=" << t;
+        sets *= 2;
+      }
+    }
+  }
+}
+
+// Needed-sets behaviour across the (eta, epsilon) grid for both schedule
+// families: the final rung covers theta_max, the previous one does not
+// (the ladder never over- or under-shoots the certification budget), and
+// tightening epsilon never shrinks the sampling budget.
+TEST(DoublingLadderTest, ScheduleLaddersCoverThetaMaxMinimally) {
+  const NodeId n = 5000;
+  for (NodeId eta : {NodeId{1}, NodeId{10}, NodeId{250}, NodeId{2500}}) {
+    double previous_theta_max = 0.0;
+    for (double epsilon : {0.5, 0.3, 0.1}) {  // tightening order
+      const TrimSchedule trim = ComputeTrimSchedule(n, eta, epsilon);
+      ASSERT_GE(trim.max_iterations, 1u);
+      EXPECT_GE(static_cast<double>(
+                    DoublingLadderSets(trim.theta_zero, trim.max_iterations)),
+                trim.theta_max)
+          << "eta=" << eta << " eps=" << epsilon;
+      if (trim.max_iterations > 1) {
+        EXPECT_LT(static_cast<double>(DoublingLadderSets(
+                      trim.theta_zero, trim.max_iterations - 1)),
+                  trim.theta_max)
+            << "eta=" << eta << " eps=" << epsilon;
+      }
+      EXPECT_GT(trim.theta_max, previous_theta_max)
+          << "eta=" << eta << " eps=" << epsilon;
+      previous_theta_max = trim.theta_max;
+
+      const NodeId batch = std::min<NodeId>(8, eta);
+      const TrimBSchedule trim_b = ComputeTrimBSchedule(n, eta, batch, epsilon);
+      ASSERT_GE(trim_b.max_iterations, 1u);
+      EXPECT_GE(static_cast<double>(
+                    DoublingLadderSets(trim_b.theta_zero, trim_b.max_iterations)),
+                trim_b.theta_max);
+      if (trim_b.max_iterations > 1) {
+        EXPECT_LT(static_cast<double>(DoublingLadderSets(
+                      trim_b.theta_zero, trim_b.max_iterations - 1)),
+                  trim_b.theta_max);
+      }
+    }
+  }
 }
 
 // --- Truncation estimator math (Theorem 3.3) ------------------------------
