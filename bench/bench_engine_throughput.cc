@@ -25,6 +25,16 @@
 // and the warm cache hit rate, and re-checks that warm results are
 // bit-identical to cold ones (the certified-reuse contract).
 //
+// The cold-start phase writes the main graph to disk twice — a legacy
+// ASMG v1 edge file and an ASMS snapshot (src/store/) — and times both
+// registration paths into fresh catalogs: ASMG pays an O(m) parse plus
+// reverse-CSR rebuild, the snapshot registers by mmap with O(sections)
+// structural validation, so its time stays flat as the graph grows. It
+// also measures time-to-first-solve each way and a warm start: sealed RR
+// prefixes saved by a seeded engine are adopted by a process-fresh
+// engine built from the file alone, which must reproduce the reference
+// results bit-for-bit while hitting the adopted cache.
+//
 // The mixed-workload phase routes one request stream round-robin across
 // the --graphs catalog entries on ONE engine, reports per-graph queries/s,
 // and re-checks the multi-tenant determinism contract: each result must be
@@ -43,6 +53,8 @@
 //                         graphs for the mixed-workload phase; built-in
 //                         dataset names register their surrogates on demand
 //   --eta-fraction 0.05   per-request threshold
+//   --snapshot-dir DIR    where the cold-start phase writes its temp
+//                         graph files (default: system temp dir)
 //   --scale 1.0           graph size multiplier
 //   --model ic|lt
 //   --json PATH           machine-readable results (CI artifact)
@@ -55,8 +67,10 @@
 // timing.
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -64,12 +78,15 @@
 
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
+#include "api/snapshot_serving.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
 #include "benchutil/timer.h"
+#include "graph/binary_io.h"
 #include "graph/generators.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "store/snapshot_store.h"
 #include "util/check.h"
 
 namespace asti {
@@ -201,7 +218,7 @@ int main(int argc, char** argv) {
   };
   auto eta_for = [eta_fraction](const GraphRef& ref) {
     return std::max<NodeId>(1, static_cast<NodeId>(eta_fraction *
-                                                   static_cast<double>(ref.num_nodes)));
+                                                   static_cast<double>(ref.num_nodes())));
   };
 
   const GraphRef main_graph = ensure_graph(cli.GetString("graph", "bench-a"));
@@ -214,7 +231,7 @@ int main(int argc, char** argv) {
   std::vector<SolveRequest> requests;
   for (size_t i = 0; i < queries; ++i) {
     SolveRequest request;
-    request.graph = main_graph.name;
+    request.graph = main_graph.name();
     request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
     request.model = model;
     request.eta = eta;
@@ -224,8 +241,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "SeedMinEngine serving throughput on catalog graph '"
-            << main_graph.name << "' (n=" << main_graph.num_nodes
-            << ", m=" << main_graph.num_edges
+            << main_graph.name() << "' (n=" << main_graph.num_nodes()
+            << ", m=" << main_graph.num_edges()
             << ", model=" << DiffusionModelName(model) << ", eta=" << eta
             << ", queries/level=" << queries << ", pool threads="
             << (pool_threads == 0 ? std::string("hw") : std::to_string(pool_threads))
@@ -398,6 +415,164 @@ int main(int argc, char** argv) {
             << (repeat_deterministic ? "yes" : "NO — determinism violated") << "\n";
   deterministic = deterministic && repeat_deterministic;
 
+  // --- Cold start: parse-register vs mmap-register from disk --------------
+  // The main graph goes to disk twice: a legacy ASMG v1 edge file and an
+  // ASMS snapshot. Registering from the ASMG file pays an O(m) parse plus
+  // the reverse-CSR rebuild; RegisterSnapshotFile maps the ASMS file and
+  // validates O(sections) structurally, so its cost stays flat as m grows.
+  // Both paths are timed as min-over-repeats (registration only) and as
+  // time-to-first-solve (registration + one query on a fresh engine), and
+  // the mmap-backed result must be bit-identical to the heap-backed
+  // reference digest. The warm-start leg then saves a snapshot WITH the
+  // sealed RR prefixes of a seeded engine, reopens it in a fresh
+  // catalog+engine, and reruns the whole query set: results must match the
+  // reference digests while the first pass rides the adopted prefixes.
+  double parse_register_s = std::numeric_limits<double>::infinity();
+  double mmap_register_s = std::numeric_limits<double>::infinity();
+  double parse_first_solve_s = 0.0;
+  double mmap_first_solve_s = 0.0;
+  double warm_start_hit_rate = 0.0;
+  size_t warm_start_cache_users = 0;
+  uint64_t warm_sets_adopted = 0;
+  bool cold_start_deterministic = true;
+  {
+    const std::filesystem::path snapshot_dir =
+        cli.Has("snapshot-dir")
+            ? std::filesystem::path(cli.GetString("snapshot-dir", ""))
+            : std::filesystem::temp_directory_path() / "asti_bench_cold_start";
+    std::filesystem::create_directories(snapshot_dir);
+    const std::string asmg_path = (snapshot_dir / "cold-start.asmg").string();
+    const std::string asms_path = (snapshot_dir / "cold-start.asms").string();
+    const std::string warm_path = (snapshot_dir / "cold-start-warm.asms").string();
+    ASM_CHECK(SaveGraphBinary(main_graph.graph(), asmg_path).ok());
+    {
+      const Status saved =
+          store::WriteSnapshot(main_graph.graph(), main_graph.name(),
+                               main_graph.weight_scheme(), {}, asms_path);
+      ASM_CHECK(saved.ok()) << saved.ToString();
+    }
+
+    // Registration only, min over repeats (denoises fs cache warmup).
+    constexpr int kColdRepeats = 5;
+    for (int repeat = 0; repeat < kColdRepeats; ++repeat) {
+      {
+        GraphCatalog fresh;
+        WallTimer timer;
+        auto loaded = LoadGraphBinary(asmg_path);
+        ASM_CHECK(loaded.ok()) << loaded.status().ToString();
+        ASM_CHECK(fresh.Register(main_graph.name(), std::move(*loaded),
+                                 main_graph.weight_scheme())
+                      .ok());
+        parse_register_s = std::min(parse_register_s, timer.Seconds());
+      }
+      {
+        GraphCatalog fresh;
+        WallTimer timer;
+        const auto registered = RegisterSnapshotFile(fresh, asms_path);
+        ASM_CHECK(registered.ok()) << registered.status().ToString();
+        mmap_register_s = std::min(mmap_register_s, timer.Seconds());
+      }
+    }
+
+    // Time-to-first-solve: register + one query on a fresh engine. The
+    // mmap path's result is checked against the heap-backed reference.
+    auto first_solve = [&](bool use_mmap) {
+      GraphCatalog fresh;
+      WallTimer timer;
+      if (use_mmap) {
+        const auto registered = RegisterSnapshotFile(fresh, asms_path);
+        ASM_CHECK(registered.ok()) << registered.status().ToString();
+      } else {
+        auto loaded = LoadGraphBinary(asmg_path);
+        ASM_CHECK(loaded.ok()) << loaded.status().ToString();
+        ASM_CHECK(fresh.Register(main_graph.name(), std::move(*loaded),
+                                 main_graph.weight_scheme())
+                      .ok());
+      }
+      SeedMinEngine::Options options;
+      options.num_threads = pool_threads;
+      SeedMinEngine engine(fresh, options);
+      const StatusOr<SolveResult> solved = engine.Solve(requests.front());
+      ASM_CHECK(solved.ok()) << solved.status().ToString();
+      const double seconds = timer.Seconds();
+      cold_start_deterministic =
+          cold_start_deterministic &&
+          OneResultChecksum(*solved) == reference_digests.front();
+      return seconds;
+    };
+    parse_first_solve_s = first_solve(/*use_mmap=*/false);
+    mmap_first_solve_s = first_solve(/*use_mmap=*/true);
+
+    // Warm start: seed a cache, persist its sealed prefixes, adopt them in
+    // a process-fresh catalog+engine built from the file alone.
+    {
+      GraphCatalog seeding_catalog;
+      const auto registered = RegisterSnapshotFile(seeding_catalog, asms_path);
+      ASM_CHECK(registered.ok()) << registered.status().ToString();
+      SeedMinEngine::Options options;
+      options.num_threads = pool_threads;
+      SeedMinEngine seeding_engine(seeding_catalog, options);
+      for (const SolveRequest& request : requests) {
+        const StatusOr<SolveResult> solved = seeding_engine.Solve(request);
+        ASM_CHECK(solved.ok()) << solved.status().ToString();
+      }
+      const Status saved =
+          seeding_engine.SaveSnapshot(main_graph.name(), warm_path);
+      ASM_CHECK(saved.ok()) << saved.ToString();
+    }
+    {
+      GraphCatalog warm_catalog;
+      const auto registered = RegisterSnapshotFile(warm_catalog, warm_path);
+      ASM_CHECK(registered.ok()) << registered.status().ToString();
+      SeedMinEngine::Options options;
+      options.num_threads = pool_threads;
+      SeedMinEngine engine(warm_catalog, options);
+      size_t warm_hits = 0;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        const StatusOr<SolveResult> solved = engine.Solve(requests[i]);
+        ASM_CHECK(solved.ok()) << solved.status().ToString();
+        cold_start_deterministic = cold_start_deterministic &&
+                                   OneResultChecksum(*solved) ==
+                                       reference_digests[i];
+        const RequestProfile& profile = solved->profile;
+        if (profile.sets_reused + profile.sets_extended > 0) {
+          ++warm_start_cache_users;
+          if (profile.cache_hit) ++warm_hits;
+        }
+      }
+      warm_start_hit_rate = warm_start_cache_users == 0
+                                ? 0.0
+                                : static_cast<double>(warm_hits) /
+                                      static_cast<double>(warm_start_cache_users);
+      const MetricsSnapshot warm_metrics = engine.metrics_snapshot();
+      for (const CounterSample& counter : warm_metrics.counters) {
+        if (counter.name == "asti_sampler_cache_sets_adopted_total") {
+          warm_sets_adopted += counter.value;
+        }
+      }
+    }
+    std::filesystem::remove(asmg_path);
+    std::filesystem::remove(asms_path);
+    std::filesystem::remove(warm_path);
+  }
+  std::cout << "\nCold start (register '" << main_graph.name()
+            << "' from disk, min of 5): parse+rebuild "
+            << FormatDouble(parse_register_s * 1e3) << "ms vs mmap "
+            << FormatDouble(mmap_register_s * 1e3) << "ms ("
+            << FormatDouble(mmap_register_s > 0.0
+                                ? parse_register_s / mmap_register_s
+                                : 0.0)
+            << "x); first solve " << FormatDouble(parse_first_solve_s * 1e3)
+            << "ms vs " << FormatDouble(mmap_first_solve_s * 1e3) << "ms\n"
+            << "Warm start from persisted prefixes: hit rate "
+            << FormatDouble(warm_start_hit_rate) << " over "
+            << warm_start_cache_users << " cache-using queries, "
+            << warm_sets_adopted << " sets adopted\n"
+            << "Snapshot-served results bit-identical to heap-backed runs: "
+            << (cold_start_deterministic ? "yes" : "NO — determinism violated")
+            << "\n";
+  deterministic = deterministic && cold_start_deterministic;
+
   // --- Mixed workload: one engine, many graphs, hot-swap under load ------
   const std::vector<std::string> mixed_names =
       ParseNameList(cli.GetString("graphs", "bench-a,bench-b"), "--graphs");
@@ -409,7 +584,7 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < queries; ++i) {
     const GraphRef& ref = mixed_refs[i % mixed_refs.size()];
     SolveRequest request;
-    request.graph = ref.name;
+    request.graph = ref.name();
     request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
     request.model = model;
     request.eta = eta_for(ref);
@@ -482,7 +657,7 @@ int main(int argc, char** argv) {
           catalog.Swap("hot-swap-target", std::move(*replacement));
       swap_blackout.Record(static_cast<uint64_t>(swap_timer.Seconds() / kNanos));
       ASM_CHECK(swapped.ok()) << swapped.status().ToString();
-      hot_swap_epochs = swapped->epoch;
+      hot_swap_epochs = swapped->epoch();
     }
     std::vector<std::vector<uint64_t>> digests_by_graph;
     for (size_t i = 0; i < futures.size(); ++i) {
@@ -543,9 +718,9 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     ASM_CHECK(out.good()) << "cannot open --json path " << json_path;
     out << "{\n"
-        << "  \"graph\": {\"name\": \"" << main_graph.name
-        << "\", \"nodes\": " << main_graph.num_nodes
-        << ", \"edges\": " << main_graph.num_edges << "},\n"
+        << "  \"graph\": {\"name\": \"" << main_graph.name()
+        << "\", \"nodes\": " << main_graph.num_nodes()
+        << ", \"edges\": " << main_graph.num_edges() << "},\n"
         << "  \"model\": \"" << DiffusionModelName(model) << "\",\n"
         << "  \"eta\": " << eta << ",\n"
         << "  \"queries_per_level\": " << queries << ",\n"
@@ -569,6 +744,17 @@ int main(int argc, char** argv) {
         << ", \"warm_hit_rate\": " << warm_hit_rate
         << ", \"cache_using_queries\": " << warm_cache_users
         << ", \"deterministic\": " << (repeat_deterministic ? "true" : "false")
+        << "},\n"
+        << "  \"cold_start\": {\"parse_register_s\": " << parse_register_s
+        << ", \"mmap_register_s\": " << mmap_register_s
+        << ", \"parse_vs_mmap_ratio\": "
+        << (mmap_register_s > 0.0 ? parse_register_s / mmap_register_s : 0.0)
+        << ", \"parse_first_solve_s\": " << parse_first_solve_s
+        << ", \"mmap_first_solve_s\": " << mmap_first_solve_s
+        << ", \"warm_start_hit_rate\": " << warm_start_hit_rate
+        << ", \"warm_cache_using_queries\": " << warm_start_cache_users
+        << ", \"warm_sets_adopted\": " << warm_sets_adopted
+        << ", \"deterministic\": " << (cold_start_deterministic ? "true" : "false")
         << "},\n"
         << "  \"saturation\": {\"capacity\": " << capacity
         << ", \"drivers\": " << sat_drivers << ", \"queue_depth\": " << sat_queue

@@ -31,17 +31,37 @@
 // way), --save-traces PATH, --quiet, --metrics (print the request's phase
 // profile — including cache_hit and reused-vs-extended set counts — and
 // the engine's metrics snapshot in Prometheus text format after the run).
+//
+// Snapshot persistence (src/store/, ASMS files):
+//   --snapshot-dir DIR     before building a surrogate, try DIR/<name>.asms
+//                          (mmap-registered, cache warm-started from any
+//                          persisted collection prefixes); also the default
+//                          destination for --save-snapshot.
+//   --save-snapshot [PATH] after the run, persist the served graph plus the
+//                          sealed sampler-cache prefixes it accumulated
+//                          (default PATH: DIR/<name>.asms).
+//   --load-snapshot PATH   register a specific snapshot file for this run.
+//   --snapshot-compact     with --save-snapshot: omit the reverse CSR
+//                          (~half the file; rebuilt on load).
+//   --verify-snapshot PATH full checksum validation of a snapshot; exits.
+//   --convert-asmg IN --snapshot-out OUT
+//                          rewrite a legacy ASMG v1 graph file as an ASMS
+//                          snapshot (name from --graph, default
+//                          "converted"); exits.
 
+#include <filesystem>
 #include <iostream>
 
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
+#include "api/snapshot_serving.h"
 #include "obs/export.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
 #include "core/trace_io.h"
 #include "graph/datasets.h"
 #include "graph/edge_list_io.h"
+#include "store/snapshot_store.h"
 
 namespace asti {
 namespace {
@@ -65,7 +85,29 @@ StatusOr<std::string> PopulateCatalog(const CommandLine& cli, GraphCatalog& cata
     if (!registered.ok()) return registered.status();
     if (target.empty()) target = kCustomGraphName;
   }
+  if (cli.Has("load-snapshot")) {
+    auto registered = RegisterSnapshotFile(catalog, cli.GetString("load-snapshot", ""));
+    if (!registered.ok()) return registered.status();
+    if (target.empty()) target = registered->name();
+  }
   if (target.empty()) target = CanonicalDatasetName(DatasetId::kNetHept);
+
+  // A snapshot directory outranks rebuilding a surrogate: registering from
+  // the mapped file costs page faults and carries the persisted sampler
+  // cache, so repeat invocations skip both graph construction and the
+  // first request's sampling.
+  if (!catalog.Get(target).ok() && cli.Has("snapshot-dir")) {
+    const store::SnapshotStore snapshots(cli.GetString("snapshot-dir", ""));
+    auto loaded = snapshots.Load(target);
+    if (loaded.ok()) {
+      auto registered = catalog.Register(
+          target, std::make_shared<const DirectedGraph>(std::move(loaded->graph)),
+          loaded->weight_scheme, std::move(loaded->warm));
+      if (!registered.ok()) return registered.status();
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
 
   if (!catalog.Get(target).ok()) {
     // Not loaded from a file: the name must be a built-in surrogate.
@@ -80,7 +122,7 @@ StatusOr<std::string> PopulateCatalog(const CommandLine& cli, GraphCatalog& cata
     auto registered =
         RegisterSurrogate(catalog, *id, cli.GetDouble("scale", 0.2), seed);
     if (!registered.ok()) return registered.status();
-    target = registered->name;  // canonical spelling
+    target = registered->name();  // canonical spelling
   }
   return target;
 }
@@ -114,10 +156,44 @@ int ListGraphs() {
   return 0;
 }
 
+// Standalone snapshot utilities (no solve): returns an exit code, or -1
+// when no utility flag was given and the normal query path should run.
+int RunSnapshotUtility(const CommandLine& cli) {
+  if (cli.Has("verify-snapshot")) {
+    const std::string path = cli.GetString("verify-snapshot", "");
+    const Status status = store::VerifySnapshotFile(path);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "snapshot OK: " << path << " (every section checksum verified)\n";
+    return 0;
+  }
+  if (cli.Has("convert-asmg")) {
+    const std::string in = cli.GetString("convert-asmg", "");
+    const std::string out = cli.GetString("snapshot-out", "");
+    if (out.empty()) {
+      std::cerr << "--convert-asmg requires --snapshot-out PATH\n";
+      return 1;
+    }
+    const std::string name = cli.GetString("graph", "converted");
+    const Status status =
+        store::ConvertAsmgV1(in, out, name, WeightScheme::kWeightedCascade);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "converted " << in << " -> " << out << " (graph '" << name << "')\n";
+    return 0;
+  }
+  return -1;
+}
+
 int Run(int argc, char** argv) {
   const CommandLine cli(argc, argv);
   if (cli.Has("list-algorithms")) return ListAlgorithms();
   if (cli.Has("list-graphs")) return ListGraphs();
+  if (const int code = RunSnapshotUtility(cli); code >= 0) return code;
 
   GraphCatalog catalog;
   auto target = PopulateCatalog(cli, catalog);
@@ -130,7 +206,7 @@ int Run(int argc, char** argv) {
     std::cerr << "graph: " << ref.status().ToString() << "\n";
     return 1;
   }
-  const NodeId n = ref->num_nodes;
+  const NodeId n = ref->num_nodes();
   NodeId eta = static_cast<NodeId>(cli.GetInt("eta", 0));
   if (eta == 0) {
     eta = static_cast<NodeId>(cli.GetDouble("eta-fraction", 0.05) * n);
@@ -191,8 +267,8 @@ int Run(int argc, char** argv) {
   }
   const bool quiet = cli.Has("quiet");
 
-  std::cout << "graph: " << ref->name << " (epoch " << ref->epoch << ") n=" << n
-            << " m=" << ref->num_edges
+  std::cout << "graph: " << ref->name() << " (epoch " << ref->epoch() << ") n=" << n
+            << " m=" << ref->num_edges()
             << "  model=" << DiffusionModelName(request.model) << "  eta=" << eta
             << "  algorithm=" << algorithm_name << "\n";
 
@@ -247,6 +323,30 @@ int Run(int argc, char** argv) {
               << " shared_collection_bytes=" << profile.shared_collection_bytes
               << "\n\n"
               << ExportPrometheusText(engine.metrics_snapshot());
+  }
+
+  if (cli.Has("save-snapshot")) {
+    std::string path = cli.GetString("save-snapshot", "");
+    if (path == "1") path.clear();  // bare flag (no PATH value)
+    if (path.empty()) {
+      if (!cli.Has("snapshot-dir")) {
+        std::cerr << "--save-snapshot needs a PATH argument or --snapshot-dir DIR\n";
+        return 1;
+      }
+      const std::string dir = cli.GetString("snapshot-dir", "");
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      path = store::SnapshotStore(dir).PathFor(*target);
+    }
+    // Persists the graph AND the sealed sampler-cache prefixes the run just
+    // left behind, so the next invocation warm-starts from disk.
+    const Status status = engine.SaveSnapshot(*target, path,
+                                              !cli.Has("snapshot-compact"));
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "snapshot saved to " << path << "\n";
   }
 
   if (cli.Has("save-traces")) {

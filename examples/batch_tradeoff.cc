@@ -23,10 +23,10 @@ int main() {
     std::cerr << nethept.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(nethept->num_nodes / 10);
+  const NodeId eta = static_cast<NodeId>(nethept->num_nodes() / 10);
   const size_t repeats = 5;
   std::cout << "Latency/budget tradeoff on a collaboration network: n="
-            << nethept->num_nodes << ", eta=" << eta << ", " << repeats
+            << nethept->num_nodes() << ", eta=" << eta << ", " << repeats
             << " hidden worlds per batch size\n\n";
 
   SeedMinEngine engine(catalog);
@@ -34,7 +34,7 @@ int main() {
                    "selection time (s)", "reached"});
   for (NodeId batch : {1, 2, 4, 8, 16}) {
     SolveRequest request;
-    request.graph = nethept->name;
+    request.graph = nethept->name();
     request.algorithm = AlgorithmId::kAsti;
     request.batch_size = batch;  // b = 1 runs TRIM, b > 1 runs TRIM-B
     request.eta = eta;

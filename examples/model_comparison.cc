@@ -25,9 +25,9 @@ int main() {
     std::cerr << youtube.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(youtube->num_nodes / 10);
-  std::cout << "IC vs LT on a friendship network: n=" << youtube->num_nodes
-            << ", m=" << youtube->num_edges << ", eta=" << eta << "\n\n";
+  const NodeId eta = static_cast<NodeId>(youtube->num_nodes() / 10);
+  std::cout << "IC vs LT on a friendship network: n=" << youtube->num_nodes()
+            << ", m=" << youtube->num_edges() << ", eta=" << eta << "\n\n";
 
   // Four drivers serve the four queries concurrently; the admission queue
   // would absorb (or, with block_when_full, throttle) anything beyond
@@ -41,7 +41,7 @@ int main() {
        {DiffusionModel::kIndependentCascade, DiffusionModel::kLinearThreshold}) {
     for (AlgorithmId algorithm : {AlgorithmId::kAsti, AlgorithmId::kAsti4}) {
       SolveRequest request;
-      request.graph = youtube->name;
+      request.graph = youtube->name();
       request.model = model;
       request.eta = eta;
       request.algorithm = algorithm;

@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
     std::cerr << epinions.status().ToString() << "\n";
     return 1;
   }
-  const NodeId eta = static_cast<NodeId>(epinions->num_nodes / 20);  // 5% reach
+  const NodeId eta = static_cast<NodeId>(epinions->num_nodes() / 20);  // 5% reach
   const size_t campaigns = 8;
-  std::cout << "Viral marketing on a trust network: n=" << epinions->num_nodes
+  std::cout << "Viral marketing on a trust network: n=" << epinions->num_nodes()
             << ", target reach eta=" << eta << ", " << campaigns
             << " simulated campaigns\n\n";
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   for (AlgorithmId strategy : {AlgorithmId::kAsti, AlgorithmId::kAteuc,
                                AlgorithmId::kBisection, AlgorithmId::kDegree}) {
     SolveRequest request;
-    request.graph = epinions->name;
+    request.graph = epinions->name();
     request.algorithm = strategy;
     request.eta = eta;
     request.realizations = campaigns;

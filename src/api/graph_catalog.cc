@@ -13,15 +13,22 @@ Status CheckName(const std::string& name) {
   return Status::OK();
 }
 
+// The metadata block is built ONCE per Register/Swap and shared by every
+// ref for that epoch, so Get() under the lock copies two shared_ptrs and
+// never the name string.
 GraphRef MakeRef(const std::string& name, uint64_t epoch,
-                 std::shared_ptr<const DirectedGraph> snapshot, WeightScheme scheme) {
+                 std::shared_ptr<const DirectedGraph> snapshot, WeightScheme scheme,
+                 std::shared_ptr<const CollectionWarmSource> warm) {
+  auto meta = std::make_shared<GraphMeta>();
+  meta->name = name;
+  meta->epoch = epoch;
+  meta->num_nodes = snapshot->NumNodes();
+  meta->num_edges = snapshot->NumEdges();
+  meta->weight_scheme = scheme;
+  meta->warm_collections = std::move(warm);
   GraphRef ref;
-  ref.name = name;
-  ref.epoch = epoch;
-  ref.num_nodes = snapshot->NumNodes();
-  ref.num_edges = snapshot->NumEdges();
-  ref.weight_scheme = scheme;
   ref.snapshot = std::move(snapshot);
+  ref.meta = std::move(meta);
   return ref;
 }
 
@@ -29,7 +36,8 @@ GraphRef MakeRef(const std::string& name, uint64_t epoch,
 
 StatusOr<GraphRef> GraphCatalog::Register(const std::string& name,
                                           std::shared_ptr<const DirectedGraph> snapshot,
-                                          WeightScheme scheme) {
+                                          WeightScheme scheme,
+                                          std::shared_ptr<const CollectionWarmSource> warm) {
   ASM_RETURN_NOT_OK(CheckName(name));
   if (snapshot == nullptr) {
     return Status::InvalidArgument("cannot register a null graph snapshot");
@@ -39,7 +47,7 @@ StatusOr<GraphRef> GraphCatalog::Register(const std::string& name,
     return Status::FailedPrecondition("graph '" + name +
                                       "' is already registered; use Swap to replace it");
   }
-  GraphRef ref = MakeRef(name, /*epoch=*/1, std::move(snapshot), scheme);
+  GraphRef ref = MakeRef(name, /*epoch=*/1, std::move(snapshot), scheme, std::move(warm));
   entries_.emplace(name, ref);
   ++version_;
   return ref;
@@ -61,7 +69,8 @@ StatusOr<GraphRef> GraphCatalog::Get(const std::string& name) const {
 
 StatusOr<GraphRef> GraphCatalog::Swap(const std::string& name,
                                       std::shared_ptr<const DirectedGraph> snapshot,
-                                      WeightScheme scheme) {
+                                      WeightScheme scheme,
+                                      std::shared_ptr<const CollectionWarmSource> warm) {
   ASM_RETURN_NOT_OK(CheckName(name));
   if (snapshot == nullptr) {
     return Status::InvalidArgument("cannot swap in a null graph snapshot");
@@ -74,7 +83,8 @@ StatusOr<GraphRef> GraphCatalog::Swap(const std::string& name,
   }
   // The old snapshot is released here (the map held one pin); refs already
   // handed out keep it alive until they drop.
-  it->second = MakeRef(name, it->second.epoch + 1, std::move(snapshot), scheme);
+  it->second = MakeRef(name, it->second.epoch() + 1, std::move(snapshot), scheme,
+                       std::move(warm));
   ++version_;
   return it->second;
 }

@@ -47,10 +47,15 @@
 
 namespace asti {
 
-/// One immutable graph snapshot plus its serving metadata. Value type:
-/// copying a GraphRef copies the shared_ptr (cheap) and extends the pin.
-struct GraphRef {
-  std::shared_ptr<const DirectedGraph> snapshot;
+class CollectionWarmSource;  // sampling/sampler_cache.h
+
+/// Immutable serving metadata for one (name, epoch) snapshot, built once
+/// at Register/Swap and shared by every GraphRef handed out for that
+/// epoch. Sharing (instead of copying the strings into each ref) is what
+/// keeps Get() to two shared_ptr copies under the catalog lock — the
+/// string copies used to show up in the mixed-workload bench at high
+/// client counts.
+struct GraphMeta {
   std::string name;
   /// 1 on first Register; bumped by every Swap of this name. A result
   /// produced against epoch e is reproducible against that epoch's
@@ -61,9 +66,28 @@ struct GraphRef {
   /// The diffusion-weight scheme the snapshot's edge probabilities were
   /// built with (informational; surfaced by --list-graphs style tooling).
   WeightScheme weight_scheme = WeightScheme::kWeightedCascade;
+  /// Persisted sealed RR-collection prefixes shipped with the snapshot
+  /// (null for graphs registered from memory). The engine hands this to
+  /// the epoch's SamplerCache so new serving state starts warm from disk.
+  std::shared_ptr<const CollectionWarmSource> warm_collections;
+};
+
+/// One immutable graph snapshot plus its serving metadata. Value type:
+/// copying a GraphRef copies two shared_ptrs (cheap) and extends the pin.
+struct GraphRef {
+  std::shared_ptr<const DirectedGraph> snapshot;
+  std::shared_ptr<const GraphMeta> meta;
 
   bool valid() const { return snapshot != nullptr; }
   const DirectedGraph& graph() const { return *snapshot; }
+  const std::string& name() const { return meta->name; }
+  uint64_t epoch() const { return meta->epoch; }
+  NodeId num_nodes() const { return meta->num_nodes; }
+  EdgeId num_edges() const { return meta->num_edges; }
+  WeightScheme weight_scheme() const { return meta->weight_scheme; }
+  const std::shared_ptr<const CollectionWarmSource>& warm_collections() const {
+    return meta->warm_collections;
+  }
 };
 
 class GraphCatalog {
@@ -75,10 +99,12 @@ class GraphCatalog {
   /// Adds `snapshot` under `name` at epoch 1. InvalidArgument for an empty
   /// name or null snapshot; FailedPrecondition if the name is already
   /// registered (replacement must be an explicit Swap). Returns the
-  /// registered ref.
+  /// registered ref. `warm` (nullable) attaches persisted sealed
+  /// RR-collection prefixes — the snapshot-store registration path.
   StatusOr<GraphRef> Register(const std::string& name,
                               std::shared_ptr<const DirectedGraph> snapshot,
-                              WeightScheme scheme = WeightScheme::kWeightedCascade);
+                              WeightScheme scheme = WeightScheme::kWeightedCascade,
+                              std::shared_ptr<const CollectionWarmSource> warm = nullptr);
 
   /// Convenience overload taking the graph by value (moves it into a
   /// shared snapshot) — the common "I just built this graph" path.
@@ -94,7 +120,8 @@ class GraphCatalog {
   /// Outstanding refs to the previous epoch stay valid. Returns the new ref.
   StatusOr<GraphRef> Swap(const std::string& name,
                           std::shared_ptr<const DirectedGraph> snapshot,
-                          WeightScheme scheme = WeightScheme::kWeightedCascade);
+                          WeightScheme scheme = WeightScheme::kWeightedCascade,
+                          std::shared_ptr<const CollectionWarmSource> warm = nullptr);
 
   /// By-value Swap convenience, mirroring Register.
   StatusOr<GraphRef> Swap(const std::string& name, DirectedGraph graph,

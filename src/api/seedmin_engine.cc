@@ -12,6 +12,7 @@
 #include "diffusion/forward_sim.h"
 #include "diffusion/world.h"
 #include "sampling/sampler_cache.h"
+#include "store/snapshot_writer.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -103,7 +104,7 @@ struct SeedMinEngine::GraphState {
   GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters)
       : ref(std::move(pinned)),
         counters(std::move(shared_counters)),
-        sampler_cache(ref.graph()) {}
+        sampler_cache(ref.graph(), ref.warm_collections()) {}
 
   const GraphRef ref;
   const std::shared_ptr<GraphCounters> counters;
@@ -209,7 +210,7 @@ SeedMinEngine::EngineStats SeedMinEngine::admission_stats() const {
   for (const auto& [name, state] : graph_states_) {
     GraphServingStats row;
     row.name = name;
-    row.epoch = state->ref.epoch;
+    row.epoch = state->ref.epoch();
     const GraphCounters::View counts = state->counters->Load();
     row.inflight = counts.inflight;
     row.completed = counts.completed;
@@ -248,7 +249,7 @@ StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph
   // Snapshot identity is compared alongside the epoch: epochs restart at
   // 1 when a retired name is re-registered, so epoch equality alone could
   // leave a cached state serving the retired snapshot.
-  if (slot == nullptr || slot->ref.epoch != ref->epoch ||
+  if (slot == nullptr || slot->ref.epoch() != ref->epoch() ||
       slot->ref.snapshot != ref->snapshot) {
     // Scratch is per-snapshot (fresh state), counters are per-name
     // (carried over so a hot-swap never resets the serving totals or
@@ -268,14 +269,14 @@ StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph
 // cached entry.
 void SeedMinEngine::PruneStatesLocked(uint64_t catalog_version) {
   std::map<std::string, GraphRef> live;
-  for (GraphRef& ref : catalog_->List()) live.emplace(ref.name, std::move(ref));
+  for (GraphRef& ref : catalog_->List()) live.emplace(ref.name(), std::move(ref));
   for (auto it = graph_states_.begin(); it != graph_states_.end();) {
     const auto current = live.find(it->first);
     if (current == live.end()) {
       it = graph_states_.erase(it);
       continue;
     }
-    if (current->second.epoch != it->second->ref.epoch ||
+    if (current->second.epoch() != it->second->ref.epoch() ||
         current->second.snapshot != it->second->ref.snapshot) {
       it->second = std::make_shared<GraphState>(std::move(current->second),
                                                 it->second->counters);
@@ -365,8 +366,8 @@ StatusOr<SolveResult> SeedMinEngine::SolveOn(GraphState& state,
   // cache) because one request may Acquire many ladder prefixes.
   profile.cache_hit = profile.sets_reused > 0 && profile.sets_extended == 0;
   if (result.ok()) {
-    result->graph_name = state.ref.name;
-    result->graph_epoch = state.ref.epoch;
+    result->graph_name = state.ref.name();
+    result->graph_epoch = state.ref.epoch();
     result->profile = profile;
   }
   RecordRequestMetrics(state, request, result.ok() ? StatusCode::kOk : result.status().code(),
@@ -382,9 +383,9 @@ void SeedMinEngine::RecordRequestMetrics(const GraphState& state,
     return seconds <= 0.0 ? uint64_t{0} : static_cast<uint64_t>(seconds * 1e9);
   };
   const std::string algorithm = AlgorithmRegistry::Name(request.algorithm);
-  const MetricLabels labels = {{"graph", state.ref.name}, {"algorithm", algorithm}};
+  const MetricLabels labels = {{"graph", state.ref.name()}, {"algorithm", algorithm}};
   registry_
-      .GetCounter("asti_requests_total", {{"graph", state.ref.name},
+      .GetCounter("asti_requests_total", {{"graph", state.ref.name()},
                                           {"algorithm", algorithm},
                                           {"outcome", StatusCodeName(code)}})
       .Add(1);
@@ -401,7 +402,7 @@ void SeedMinEngine::RecordRequestMetrics(const GraphState& state,
   for (const auto& [phase, seconds] : phases) {
     registry_
         .GetHistogram("asti_phase_seconds",
-                      {{"graph", state.ref.name},
+                      {{"graph", state.ref.name()},
                        {"algorithm", algorithm},
                        {"phase", phase}},
                       kNanos)
@@ -466,6 +467,10 @@ MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
           {"asti_sampler_cache_sets_reused_total", graph_label, cache.sets_reused});
       snapshot.counters.push_back(
           {"asti_sampler_cache_sets_extended_total", graph_label, cache.sets_extended});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_warm_starts_total", graph_label, cache.warm_starts});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_sets_adopted_total", graph_label, cache.sets_adopted});
       snapshot.gauges.push_back(
           {"asti_sampler_cache_bytes", graph_label,
            static_cast<int64_t>(state->sampler_cache.TotalBytes())});
@@ -477,6 +482,18 @@ MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
   std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_identity);
   std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_identity);
   return snapshot;
+}
+
+Status SeedMinEngine::SaveSnapshot(const std::string& graph_name, const std::string& path,
+                                   bool include_reverse_csr) {
+  // Resolving pins the current epoch's state; a cold name simply exports a
+  // graph with no collection sections.
+  ASM_ASSIGN_OR_RETURN(const std::shared_ptr<GraphState> state, ResolveGraph(graph_name));
+  const std::vector<SealedCollectionExport> sealed = state->sampler_cache.ExportSealed();
+  store::SnapshotWriteOptions options;
+  options.include_reverse_csr = include_reverse_csr;
+  return store::WriteSnapshot(state->ref.graph(), state->ref.name(),
+                              state->ref.weight_scheme(), sealed, path, options);
 }
 
 void SeedMinEngine::EnsureDrivers() {

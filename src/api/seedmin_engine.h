@@ -177,6 +177,17 @@ class SeedMinEngine {
   /// runs with enable_metrics = false.
   MetricsSnapshot metrics_snapshot() const;
 
+  /// Persists the named graph AND its current sealed sampler-cache
+  /// prefixes as an ASMS snapshot at `path` (atomic rename; see
+  /// src/store/). Re-registering that file later (snapshot_serving.h)
+  /// restores the graph by mmap and warm-starts the cache from the
+  /// persisted prefixes — the durable form of PR 7's cross-request reuse.
+  /// The export freezes the sets sealed at this call; requests may keep
+  /// extending the live cache concurrently. NotFound for names the catalog
+  /// doesn't hold.
+  Status SaveSnapshot(const std::string& graph_name, const std::string& path,
+                      bool include_reverse_csr = true);
+
   /// Checks every request field — including that request.graph resolves in
   /// the catalog — against the named graph; OK iff Solve would run
   /// (deadline/cancellation state is not consulted — a valid request may

@@ -34,10 +34,10 @@ std::vector<SweepCell> RunEvaluationSweep(
     ASM_CHECK(ref.ok()) << ref.status().ToString();
     for (double eta_fraction : EtaFractionsFor(dataset)) {
       const NodeId eta = std::max<NodeId>(
-          1, static_cast<NodeId>(eta_fraction * ref->num_nodes));
+          1, static_cast<NodeId>(eta_fraction * ref->num_nodes()));
       for (AlgorithmId algorithm : options.algorithms) {
         SolveRequest request = options.base;
-        request.graph = ref->name;
+        request.graph = ref->name();
         request.algorithm = algorithm;
         request.eta = eta;
         StatusOr<SolveResult> result = engine.Solve(request);

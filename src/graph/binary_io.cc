@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_builder.h"
@@ -25,7 +27,7 @@ bool ReadPod(std::ifstream& in, T* value) {
 }
 
 template <typename T>
-void WriteVector(std::ofstream& out, const std::vector<T>& values) {
+void WriteSpan(std::ofstream& out, std::span<const T> values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(T)));
 }
@@ -49,20 +51,9 @@ Status SaveGraphBinary(const DirectedGraph& graph, const std::string& path) {
   const uint64_t m = graph.NumEdges();
   WritePod(out, n);
   WritePod(out, m);
-
-  std::vector<uint32_t> offsets(n + 1, 0);
-  std::vector<uint32_t> targets;
-  std::vector<double> probs;
-  targets.reserve(m);
-  probs.reserve(m);
-  for (NodeId u = 0; u < n; ++u) {
-    offsets[u + 1] = offsets[u] + graph.OutDegree(u);
-    for (NodeId v : graph.OutNeighbors(u)) targets.push_back(v);
-    for (double p : graph.OutProbabilities(u)) probs.push_back(p);
-  }
-  WriteVector(out, offsets);
-  WriteVector(out, targets);
-  WriteVector(out, probs);
+  WriteSpan(out, graph.OutOffsets());
+  WriteSpan(out, graph.OutTargets());
+  WriteSpan(out, graph.OutProbs());
   if (!out) return Status::IOError("write failure on '" + path + "'");
   return Status::OK();
 }
@@ -73,40 +64,65 @@ StatusOr<DirectedGraph> LoadGraphBinary(const std::string& path) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path + "' is not an ASMG file");
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an ASMG file (bad magic; if it is an ASMS "
+                                   "snapshot, open it through the snapshot store)");
   }
   uint32_t version = 0;
   uint32_t n = 0;
   uint64_t m = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported ASMG version");
+  if (!ReadPod(in, &version)) {
+    return Status::InvalidArgument("'" + path + "': truncated in the version field");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("'" + path + "': unsupported ASMG version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kVersion) + ")");
   }
   if (!ReadPod(in, &n) || !ReadPod(in, &m)) {
-    return Status::InvalidArgument("truncated ASMG header");
+    return Status::InvalidArgument("'" + path + "': truncated in the header (n/m fields)");
   }
-  std::vector<uint32_t> offsets;
-  std::vector<uint32_t> targets;
-  std::vector<double> probs;
-  if (!ReadVector(in, static_cast<size_t>(n) + 1, &offsets) ||
-      !ReadVector(in, m, &targets) || !ReadVector(in, m, &probs)) {
-    return Status::InvalidArgument("truncated ASMG payload");
+
+  GraphStorage csr;
+  if (!ReadVector(in, static_cast<size_t>(n) + 1, &csr.out_offsets)) {
+    return Status::InvalidArgument("'" + path + "': truncated in the out_offsets section");
   }
-  if (offsets.front() != 0 || offsets.back() != m) {
-    return Status::InvalidArgument("corrupt ASMG offsets");
+  if (!ReadVector(in, m, &csr.out_targets)) {
+    return Status::InvalidArgument("'" + path + "': truncated in the out_targets section");
   }
-  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
-    if (offsets[i] > offsets[i + 1]) {
-      return Status::InvalidArgument("non-monotone ASMG offsets");
+  if (!ReadVector(in, m, &csr.out_probs)) {
+    return Status::InvalidArgument("'" + path + "': truncated in the out_probs section");
+  }
+  if (csr.out_offsets.front() != 0 || csr.out_offsets.back() != m) {
+    return Status::InvalidArgument("'" + path + "': corrupt out_offsets section (bounds)");
+  }
+  for (size_t i = 0; i + 1 < csr.out_offsets.size(); ++i) {
+    if (csr.out_offsets[i] > csr.out_offsets[i + 1]) {
+      return Status::InvalidArgument("'" + path +
+                                     "': non-monotone out_offsets section at node " +
+                                     std::to_string(i));
+    }
+  }
+  for (size_t e = 0; e < m; ++e) {
+    if (csr.out_targets[e] >= n) {
+      return Status::InvalidArgument("'" + path + "': out_targets section has endpoint " +
+                                     std::to_string(csr.out_targets[e]) +
+                                     " outside [0, " + std::to_string(n) + ")");
+    }
+    if (!(csr.out_probs[e] > 0.0) || csr.out_probs[e] > 1.0) {
+      return Status::InvalidArgument("'" + path +
+                                     "': out_probs section has probability outside "
+                                     "(0, 1] at edge " +
+                                     std::to_string(e));
     }
   }
 
-  GraphBuilder builder(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (uint32_t e = offsets[u]; e < offsets[u + 1]; ++e) {
-      ASM_RETURN_NOT_OK(builder.AddEdge(u, targets[e], probs[e]));
-    }
-  }
-  return builder.Build();
+  // The file stores the forward CSR verbatim, so adopt it directly and
+  // derive the reverse CSR by counting sort — no edge-list round trip, no
+  // comparison sort. (ASMG has no reverse sections; the snapshot store's
+  // ASMS format persists both directions.)
+  BuildReverseCsr(csr);
+  return DirectedGraph(n, std::make_shared<const GraphStorage>(std::move(csr)));
 }
 
 }  // namespace asti

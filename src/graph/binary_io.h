@@ -1,11 +1,16 @@
-// Binary graph persistence — the fast path for large surrogates.
+// Legacy binary graph persistence (ASMG v1) — kept readable as the
+// conversion input for the snapshot store (src/store/), which is the
+// serving path: ASMS snapshots persist both CSR directions, carry
+// per-section checksums, and register by mmap instead of parse.
 //
 // Format (little-endian, version 1):
 //   magic "ASMG"  u32 version  u32 n  u64 m
 //   u32 out_offsets[n+1]  u32 out_targets[m]  f64 out_probs[m]
-// The reverse CSR is rebuilt on load (it is derived state). Loading
+// Only the forward CSR is stored; loading adopts it verbatim and derives
+// the reverse CSR by counting sort (O(n + m), no comparison sort). Loading
 // validates the header, offsets monotonicity, and endpoint ranges, so a
-// truncated or corrupted file yields a Status instead of UB.
+// truncated or corrupted file yields a Status naming the offending section
+// instead of UB.
 
 #pragma once
 

@@ -48,42 +48,53 @@ StatusOr<DirectedGraph> GraphBuilder::Build(DuplicatePolicy policy) {
     deduped.push_back(e);
   }
 
-  DirectedGraph graph;
-  graph.num_nodes_ = num_nodes_;
+  GraphStorage csr;
   const size_t m = deduped.size();
 
-  graph.out_offsets_.assign(num_nodes_ + 1, 0);
-  graph.out_targets_.resize(m);
-  graph.out_probs_.resize(m);
-  for (const Edge& e : deduped) ++graph.out_offsets_[e.source + 1];
+  csr.out_offsets.assign(num_nodes_ + 1, 0);
+  csr.out_targets.resize(m);
+  csr.out_probs.resize(m);
+  for (const Edge& e : deduped) ++csr.out_offsets[e.source + 1];
   for (NodeId u = 0; u < num_nodes_; ++u) {
-    graph.out_offsets_[u + 1] += graph.out_offsets_[u];
+    csr.out_offsets[u + 1] += csr.out_offsets[u];
   }
   // deduped is sorted by source, so a single pass fills forward CSR in order.
   for (size_t i = 0; i < m; ++i) {
-    graph.out_targets_[i] = deduped[i].target;
-    graph.out_probs_[i] = deduped[i].probability;
+    csr.out_targets[i] = deduped[i].target;
+    csr.out_probs[i] = deduped[i].probability;
   }
 
-  graph.in_offsets_.assign(num_nodes_ + 1, 0);
-  graph.in_sources_.resize(m);
-  graph.in_probs_.resize(m);
-  graph.in_edge_ids_.resize(m);
-  for (const Edge& e : deduped) ++graph.in_offsets_[e.target + 1];
-  for (NodeId v = 0; v < num_nodes_; ++v) {
-    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
-  }
-  std::vector<EdgeId> cursor(graph.in_offsets_.begin(), graph.in_offsets_.end() - 1);
-  for (size_t i = 0; i < m; ++i) {
-    const Edge& e = deduped[i];
-    const EdgeId slot = cursor[e.target]++;
-    graph.in_sources_[slot] = e.source;
-    graph.in_probs_[slot] = e.probability;
-    graph.in_edge_ids_[slot] = static_cast<EdgeId>(i);
-  }
+  BuildReverseCsr(csr);
 
   edges_.clear();
-  return graph;
+  return DirectedGraph(num_nodes_, std::make_shared<const GraphStorage>(std::move(csr)));
+}
+
+void BuildReverseCsr(GraphStorage& csr) {
+  BuildReverseCsr(csr.out_offsets, csr.out_targets, csr.out_probs, csr);
+}
+
+void BuildReverseCsr(std::span<const EdgeId> out_offsets, std::span<const NodeId> out_targets,
+                     std::span<const double> out_probs, GraphStorage& into) {
+  const size_t n = out_offsets.size() - 1;
+  const size_t m = out_targets.size();
+  into.in_offsets.assign(n + 1, 0);
+  into.in_sources.resize(m);
+  into.in_probs.resize(m);
+  into.in_edge_ids.resize(m);
+  for (const NodeId v : out_targets) ++into.in_offsets[v + 1];
+  for (size_t v = 0; v < n; ++v) {
+    into.in_offsets[v + 1] += into.in_offsets[v];
+  }
+  std::vector<EdgeId> cursor(into.in_offsets.begin(), into.in_offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+      const EdgeId slot = cursor[out_targets[e]]++;
+      into.in_sources[slot] = u;
+      into.in_probs[slot] = out_probs[e];
+      into.in_edge_ids[slot] = e;
+    }
+  }
 }
 
 }  // namespace asti

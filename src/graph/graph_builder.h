@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -40,5 +41,19 @@ class GraphBuilder {
   NodeId num_nodes_;
   std::vector<Edge> edges_;
 };
+
+/// Fills `csr`'s reverse arrays (in_offsets / in_sources / in_probs /
+/// in_edge_ids) from its forward arrays by counting sort — O(n + m), no
+/// comparison sort. Shared by GraphBuilder, the ASMG loader, and the
+/// snapshot store's omit-reverse rebuild path, so every rebuild produces
+/// the identical reverse CSR a persisted one would contain.
+void BuildReverseCsr(GraphStorage& csr);
+
+/// Same counting sort, reading the forward CSR from caller-owned spans and
+/// filling only `into`'s reverse arrays. The snapshot store uses this when
+/// a compact file omits the reverse sections: the forward arrays stay on
+/// the mapping (zero-copy) and only the reverse CSR is materialized.
+void BuildReverseCsr(std::span<const EdgeId> out_offsets, std::span<const NodeId> out_targets,
+                     std::span<const double> out_probs, GraphStorage& into);
 
 }  // namespace asti

@@ -35,7 +35,7 @@ class RrCollection {
   /// Resident footprint of the collection's backing storage in bytes
   /// (pool + offsets + coverage counters), reported in request profiles.
   size_t MemoryBytes() const {
-    return pool_.capacity() * sizeof(NodeId) + offsets_.capacity() * sizeof(size_t) +
+    return pool_.capacity() * sizeof(NodeId) + offsets_.capacity() * sizeof(uint64_t) +
            coverage_.capacity() * sizeof(uint32_t);
   }
 
@@ -59,6 +59,15 @@ class RrCollection {
   }
 
   const std::vector<uint32_t>& CoverageCounts() const { return coverage_; }
+
+  // Whole-array views of the flat storage. The offsets array has
+  // NumSets()+1 entries with offsets[0] == 0; set i is
+  // pool[offsets[i] .. offsets[i+1]). This is the layout CollectionView
+  // parts and the snapshot store's persisted collections share — offsets
+  // are uint64_t precisely so an RrCollection's arrays and an mmap'd
+  // section are interchangeable behind the same pointers.
+  std::span<const uint64_t> Offsets() const { return offsets_; }
+  std::span<const NodeId> Pool() const { return pool_; }
 
   /// Node maximizing Λ_R(v) (lowest id on ties). Requires n > 0.
   NodeId ArgMaxCoverage() const;
@@ -107,7 +116,7 @@ class RrCollection {
 
  private:
   NodeId num_nodes_;
-  std::vector<size_t> offsets_{0};
+  std::vector<uint64_t> offsets_{0};
   std::vector<NodeId> pool_;
   std::vector<uint32_t> coverage_;
 };

@@ -9,17 +9,6 @@
 
 namespace asti {
 
-namespace {
-
-// Root of every cache stream family. A fixed constant — NOT a request
-// seed — so cached collections are a pure function of (graph snapshot,
-// cache key), which is what makes any request history produce the same
-// sets. Changing it is a determinism-breaking change (documented in
-// src/api/README.md).
-constexpr uint64_t kCacheStreamSeed = 0xa57150cc5eed0007ULL;
-
-}  // namespace
-
 SamplerCache::Entry::Entry(const DirectedGraph& graph, const SamplerCacheKey& key)
     : collection(graph.NumNodes()),
       base(Rng(kCacheStreamSeed)
@@ -33,15 +22,31 @@ SamplerCache::Entry::Entry(const DirectedGraph& graph, const SamplerCacheKey& ke
   }
 }
 
-SamplerCache::SamplerCache(const DirectedGraph& graph)
-    : graph_(&graph), all_nodes_(graph.NumNodes()) {
+SamplerCache::SamplerCache(const DirectedGraph& graph,
+                           std::shared_ptr<const CollectionWarmSource> warm)
+    : graph_(&graph), warm_(std::move(warm)), all_nodes_(graph.NumNodes()) {
   std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
 }
 
 SamplerCache::Entry& SamplerCache::EntryFor(const SamplerCacheKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Entry>& slot = entries_[key];
-  if (slot == nullptr) slot = std::make_unique<Entry>(*graph_, key);
+  if (slot == nullptr) {
+    slot = std::make_unique<Entry>(*graph_, key);
+    // Warm start: adopt the persisted sealed prefix (if the snapshot
+    // carries one for this key) as the entry's initial extent. The source
+    // has already certified seed/contract/digest, so the adopted sets are
+    // exactly what the extension path below would have generated — the
+    // first Acquire against them is an ordinary sealed-prefix hit.
+    if (warm_ != nullptr) {
+      if (std::optional<PersistedSealedPrefix> prefix = warm_->Find(key)) {
+        slot->collection.AdoptSealedPrefix(prefix->offsets, prefix->pool,
+                                           prefix->coverage, std::move(prefix->owner));
+        warm_starts_.fetch_add(1, std::memory_order_relaxed);
+        sets_adopted_.fetch_add(prefix->offsets.size() - 1, std::memory_order_relaxed);
+      }
+    }
+  }
   return *slot;
 }
 
@@ -134,7 +139,21 @@ SamplerCacheStats SamplerCache::Stats() const {
   stats.extensions = extensions_.load(std::memory_order_relaxed);
   stats.sets_reused = sets_reused_.load(std::memory_order_relaxed);
   stats.sets_extended = sets_extended_.load(std::memory_order_relaxed);
+  stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  stats.sets_adopted = sets_adopted_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::vector<SealedCollectionExport> SamplerCache::ExportSealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SealedCollectionExport> exports;
+  exports.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    const size_t sealed = entry->collection.SealedSets();
+    if (sealed == 0) continue;
+    exports.push_back(SealedCollectionExport{key, entry->collection.Prefix(sealed)});
+  }
+  return exports;
 }
 
 }  // namespace asti

@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "diffusion/model.h"
@@ -47,6 +48,23 @@
 #include "util/rng.h"
 
 namespace asti {
+
+/// Root of every cache stream family. A fixed constant — NOT a request
+/// seed — so cached collections are a pure function of (graph snapshot,
+/// cache key), which is what makes any request history produce the same
+/// sets. It is also stamped into persisted collection sections (ASMS
+/// snapshots) and checked on load, so a snapshot written under a different
+/// stream family is refused rather than silently adopted. Changing it is a
+/// determinism-breaking change (documented in src/api/README.md).
+inline constexpr uint64_t kCacheStreamSeed = 0xa57150cc5eed0007ULL;
+
+/// Version of the sampler determinism contract: the per-set stream
+/// derivation (base.Split(global_index) rooted at kCacheStreamSeed) AND
+/// the traversal algorithms consuming those streams. Bump on any change
+/// that alters what set i contains for a given (graph, key, i) — persisted
+/// collections carry it and the snapshot loader refuses a mismatch, which
+/// is what keeps "adopted from disk" bit-identical to "generated cold".
+inline constexpr uint32_t kSamplerContractVersion = 1;
 
 /// What a full-residual collection's distribution depends on.
 struct SamplerCacheKey {
@@ -80,6 +98,44 @@ struct SamplerCacheStats {
   uint64_t extensions = 0;  // Acquire had to grow a non-empty entry
   uint64_t sets_reused = 0;
   uint64_t sets_extended = 0;
+  uint64_t warm_starts = 0;   // entries created with an adopted disk prefix
+  uint64_t sets_adopted = 0;  // sets those prefixes contributed
+};
+
+/// A persisted sealed prefix a cache entry can adopt as its initial
+/// extent: flat set storage (same layout as RrCollection — offsets has
+/// num_sets+1 entries with offsets[0] == 0) plus the coverage checkpoint
+/// after all num_sets sets, all typically spanning an mmap'd snapshot
+/// section. `owner` keeps the spanned bytes alive.
+struct PersistedSealedPrefix {
+  std::span<const uint64_t> offsets;
+  std::span<const NodeId> pool;
+  std::span<const uint32_t> coverage;  // num_nodes entries
+  std::shared_ptr<const void> owner;
+};
+
+/// Source of persisted sealed prefixes, implemented by the snapshot store
+/// over a mapped file's collection sections. The implementation vouches
+/// that an offered prefix was generated under THIS graph snapshot, the
+/// current kCacheStreamSeed, and the current kSamplerContractVersion —
+/// i.e. that its sets are bit-identical to what cold generation for `key`
+/// would produce (the loader checks all three before offering anything).
+class CollectionWarmSource {
+ public:
+  virtual ~CollectionWarmSource() = default;
+
+  /// The persisted prefix for `key`, or nullopt when the snapshot carries
+  /// none. Called at most once per cache entry (on creation); must be
+  /// thread-safe and must not block on I/O beyond page faults.
+  virtual std::optional<PersistedSealedPrefix> Find(const SamplerCacheKey& key) const = 0;
+};
+
+/// One entry's sealed prefix at export time, for the snapshot writer.
+struct SealedCollectionExport {
+  SamplerCacheKey key;
+  /// Pinned view of EXACTLY the sealed sets; valid independent of further
+  /// cache growth or the cache's lifetime.
+  CollectionView view;
 };
 
 /// Per-GraphState cache of SharedRrCollections. Thread-safe: any number of
@@ -87,8 +143,13 @@ struct SamplerCacheStats {
 class SamplerCache {
  public:
   /// The graph must outlive the cache (the engine's GraphState holds the
-  /// snapshot shared_ptr that guarantees this).
-  explicit SamplerCache(const DirectedGraph& graph);
+  /// snapshot shared_ptr that guarantees this). `warm` (nullable) offers
+  /// persisted sealed prefixes: an entry whose key the source recognizes
+  /// starts with the adopted prefix already sealed instead of empty —
+  /// bit-identical to a cold entry extended to the same length, so the
+  /// cached-vs-fresh determinism contract is unchanged.
+  explicit SamplerCache(const DirectedGraph& graph,
+                        std::shared_ptr<const CollectionWarmSource> warm = nullptr);
 
   /// Returns a view of EXACTLY the first `target` sets of the entry for
   /// `key`, extending the shared collection first if it is short. The view
@@ -108,6 +169,12 @@ class SamplerCache {
 
   SamplerCacheStats Stats() const;
 
+  /// Pinned views of every entry's current sealed prefix (empty entries
+  /// omitted), for the snapshot writer. Each view stays valid however the
+  /// cache grows afterwards; the snapshot then freezes exactly the sets
+  /// that were sealed at this call.
+  std::vector<SealedCollectionExport> ExportSealed() const;
+
  private:
   struct Entry {
     Entry(const DirectedGraph& graph, const SamplerCacheKey& key);
@@ -122,6 +189,8 @@ class SamplerCache {
   Entry& EntryFor(const SamplerCacheKey& key);
 
   const DirectedGraph* graph_;
+  /// Persisted-prefix source (nullable); consulted once per entry creation.
+  std::shared_ptr<const CollectionWarmSource> warm_;
   /// Canonical full-residual candidate list (0..n-1); what round 1 of every
   /// policy passes today, and what ATEUC/Bisection call `all_nodes`.
   std::vector<NodeId> all_nodes_;
@@ -134,6 +203,8 @@ class SamplerCache {
   std::atomic<uint64_t> extensions_{0};
   std::atomic<uint64_t> sets_reused_{0};
   std::atomic<uint64_t> sets_extended_{0};
+  std::atomic<uint64_t> warm_starts_{0};
+  std::atomic<uint64_t> sets_adopted_{0};
 };
 
 }  // namespace asti

@@ -1,6 +1,7 @@
 #include "sampling/shared_collection.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace asti {
 
@@ -16,7 +17,7 @@ const CollectionView::Part& CollectionView::PartFor(size_t i) const {
 size_t SharedRrCollection::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t bytes = 0;
-  for (const Chunk& chunk : chunks_) bytes += chunk.sets->MemoryBytes();
+  for (const Chunk& chunk : chunks_) bytes += chunk.memory_bytes;
   bytes += boundary_coverage_.size() * num_nodes_ * sizeof(uint32_t);
   for (const auto& [prefix, coverage] : derived_coverage_) {
     (void)prefix;
@@ -36,7 +37,7 @@ std::shared_ptr<const std::vector<uint32_t>> SharedRrCollection::CoverageForLock
   ASM_DCHECK(it != chunks_.begin());
   const size_t c = static_cast<size_t>(std::prev(it) - chunks_.begin());
   const Chunk& chunk = chunks_[c];
-  if (prefix == chunk.first_set + chunk.sets->NumSets()) return boundary_coverage_[c];
+  if (prefix == chunk.first_set + chunk.num_sets) return boundary_coverage_[c];
   if (auto cached = derived_coverage_.find(prefix); cached != derived_coverage_.end()) {
     return cached->second;
   }
@@ -44,7 +45,10 @@ std::shared_ptr<const std::vector<uint32_t>> SharedRrCollection::CoverageForLock
   auto coverage = c == 0 ? std::make_shared<std::vector<uint32_t>>(num_nodes_, 0)
                          : std::make_shared<std::vector<uint32_t>>(*boundary_coverage_[c - 1]);
   for (size_t i = chunk.first_set; i < prefix; ++i) {
-    for (const NodeId v : chunk.sets->Set(i - chunk.first_set)) ++(*coverage)[v];
+    const size_t local = i - chunk.first_set;
+    for (uint64_t p = chunk.offsets[local]; p < chunk.offsets[local + 1]; ++p) {
+      ++(*coverage)[chunk.pool[p]];
+    }
   }
   std::shared_ptr<const std::vector<uint32_t>> result = std::move(coverage);
   if (derived_coverage_.size() >= kMaxDerivedCheckpoints) {
@@ -66,10 +70,11 @@ CollectionView SharedRrCollection::Prefix(size_t prefix) const {
   view.coverage_ = view.coverage_owner_.get();
   for (const Chunk& chunk : chunks_) {
     if (chunk.first_set >= prefix) break;
-    view.parts_.push_back(CollectionView::Part{chunk.first_set, chunk.sets.get(), chunk.sets});
-    const size_t in_chunk = std::min(prefix - chunk.first_set, chunk.sets->NumSets());
-    view.total_entries_ += chunk.sets->SetOffset(in_chunk);
-    view.memory_bytes_ += chunk.sets->MemoryBytes();
+    view.parts_.push_back(
+        CollectionView::Part{chunk.first_set, chunk.offsets, chunk.pool, chunk.owner});
+    const size_t in_chunk = std::min(prefix - chunk.first_set, chunk.num_sets);
+    view.total_entries_ += static_cast<size_t>(chunk.offsets[in_chunk]);
+    view.memory_bytes_ += chunk.memory_bytes;
   }
   return view;
 }
@@ -91,22 +96,59 @@ bool SharedRrCollection::ExtendTo(
     // contract, so the whole staging batch is discarded unpublished.
     return false;
   }
-  auto chunk = std::make_shared<const RrCollection>(std::move(staging));
+  auto sets = std::make_shared<const RrCollection>(std::move(staging));
+  Chunk chunk;
+  chunk.first_set = sealed;
+  chunk.num_sets = sets->NumSets();
+  chunk.offsets = sets->Offsets().data();
+  chunk.pool = sets->Pool().data();
+  chunk.memory_bytes = sets->MemoryBytes();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::shared_ptr<std::vector<uint32_t>> boundary;
     if (boundary_coverage_.empty()) {
-      boundary = std::make_shared<std::vector<uint32_t>>(chunk->CoverageCounts());
+      boundary = std::make_shared<std::vector<uint32_t>>(sets->CoverageCounts());
     } else {
       boundary = std::make_shared<std::vector<uint32_t>>(*boundary_coverage_.back());
-      const std::vector<uint32_t>& delta = chunk->CoverageCounts();
+      const std::vector<uint32_t>& delta = sets->CoverageCounts();
       for (NodeId v = 0; v < num_nodes_; ++v) (*boundary)[v] += delta[v];
     }
-    chunks_.push_back(Chunk{sealed, chunk});
+    chunk.owner = std::move(sets);
+    chunks_.push_back(std::move(chunk));
     boundary_coverage_.push_back(std::move(boundary));
   }
   sealed_.store(target, std::memory_order_release);
   return true;
+}
+
+void SharedRrCollection::AdoptSealedPrefix(std::span<const uint64_t> offsets,
+                                           std::span<const NodeId> pool,
+                                           std::span<const uint32_t> coverage,
+                                           std::shared_ptr<const void> owner) {
+  ASM_CHECK(!offsets.empty() && offsets.front() == 0);
+  ASM_CHECK(offsets.back() == pool.size());
+  ASM_CHECK(coverage.size() == num_nodes_);
+  const size_t num_sets = offsets.size() - 1;
+  ASM_CHECK(num_sets <= RrCollection::kMaxSets) << "adopted prefix overflows set ids";
+  std::lock_guard<std::mutex> extend_lock(extend_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ASM_CHECK(chunks_.empty() && SealedSets() == 0)
+        << "AdoptSealedPrefix on a non-empty collection";
+    Chunk chunk;
+    chunk.first_set = 0;
+    chunk.num_sets = num_sets;
+    chunk.offsets = offsets.data();
+    chunk.pool = pool.data();
+    // The mapped bytes (offsets + pool + the persisted coverage) are what
+    // this chunk keeps resident.
+    chunk.memory_bytes = offsets.size_bytes() + pool.size_bytes() + coverage.size_bytes();
+    chunk.owner = std::move(owner);
+    chunks_.push_back(std::move(chunk));
+    boundary_coverage_.push_back(
+        std::make_shared<const std::vector<uint32_t>>(coverage.begin(), coverage.end()));
+  }
+  sealed_.store(num_sets, std::memory_order_release);
 }
 
 }  // namespace asti

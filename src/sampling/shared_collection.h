@@ -73,7 +73,7 @@ class CollectionView {
         num_sets_(collection.NumSets()),
         total_entries_(collection.TotalEntries()),
         memory_bytes_(collection.MemoryBytes()) {
-    parts_.push_back(Part{0, &collection, nullptr});
+    parts_.push_back(Part{0, collection.Offsets().data(), collection.Pool().data(), nullptr});
   }
 
   NodeId num_nodes() const { return num_nodes_; }
@@ -92,7 +92,8 @@ class CollectionView {
     ASM_DCHECK(i < num_sets_);
     const Part* part = &parts_.back();
     if (i < part->first_set) part = &PartFor(i);
-    return part->sets->Set(i - part->first_set);
+    const size_t local = i - part->first_set;
+    return {part->pool + part->offsets[local], part->pool + part->offsets[local + 1]};
   }
 
   /// Λ(v) over the viewed prefix only.
@@ -107,10 +108,16 @@ class CollectionView {
  private:
   friend class SharedRrCollection;
 
+  // A part references flat set storage directly — a local offsets array
+  // (part set i is pool[offsets[i] .. offsets[i+1]), offsets[0] == 0) plus
+  // the node pool — with a type-erased keepalive. The same representation
+  // serves heap RrCollection chunks and mmap'd snapshot sections, so the
+  // hot Set(i) path never branches on where the bytes live.
   struct Part {
-    size_t first_set = 0;           // global index of the part's set 0
-    const RrCollection* sets = nullptr;
-    std::shared_ptr<const RrCollection> owner;  // null for borrows
+    size_t first_set = 0;  // global index of the part's set 0
+    const uint64_t* offsets = nullptr;
+    const NodeId* pool = nullptr;
+    std::shared_ptr<const void> owner;  // null for borrows
   };
 
   const Part& PartFor(size_t i) const;
@@ -169,10 +176,33 @@ class SharedRrCollection {
                 const std::function<void(size_t first, size_t count,
                                          RrCollection& staging)>& generate);
 
+  /// Installs an already-generated sealed prefix (a persisted collection
+  /// mapped from a snapshot file) as this collection's first chunk:
+  /// `offsets` (num_sets+1 entries, offsets[0] == 0, offsets[num_sets] ==
+  /// pool.size()) and `pool` describe the sets, `coverage` (num_nodes
+  /// entries) their cumulative coverage, and `owner` keeps the referenced
+  /// bytes alive (the mmap'd payload). Valid only while the collection is
+  /// empty — warm start happens at cache-entry creation, before any
+  /// extension. The coverage checkpoint is copied O(n) onto the heap so
+  /// views keep returning `const std::vector<uint32_t>&`; the sets
+  /// themselves stay zero-copy. The CALLER vouches that the sets are
+  /// exactly what cold generation under the entry's stream contract would
+  /// produce (the snapshot loader checks stream seed, contract version,
+  /// and graph digest before offering a prefix).
+  void AdoptSealedPrefix(std::span<const uint64_t> offsets, std::span<const NodeId> pool,
+                         std::span<const uint32_t> coverage,
+                         std::shared_ptr<const void> owner);
+
  private:
+  // See CollectionView::Part: flat storage pointers + type-erased
+  // keepalive, identical for heap chunks and mapped snapshot sections.
   struct Chunk {
     size_t first_set = 0;
-    std::shared_ptr<const RrCollection> sets;
+    size_t num_sets = 0;
+    const uint64_t* offsets = nullptr;  // num_sets+1 entries, offsets[0] == 0
+    const NodeId* pool = nullptr;
+    size_t memory_bytes = 0;
+    std::shared_ptr<const void> owner;
   };
 
   /// Coverage snapshot for the first `prefix` sets; caller holds mutex_.

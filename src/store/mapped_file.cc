@@ -1,0 +1,126 @@
+#include "store/mapped_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ASTI_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ASTI_STORE_HAVE_MMAP 0
+#endif
+
+namespace asti::store {
+
+namespace {
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Reset(); }
+
+void MappedFile::Reset() noexcept {
+#if ASTI_STORE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  heap_.reset();
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      heap_(std::move(other.heap_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    heap_ = std::move(other.heap_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+StatusOr<MappedFile> MappedFile::ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("open", path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return IoError("size", path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const size_t size = static_cast<size_t>(end);
+  auto heap = std::make_unique<std::byte[]>(size > 0 ? size : 1);
+  if (size > 0 && std::fread(heap.get(), 1, size, f) != size) {
+    std::fclose(f);
+    return IoError("read", path);
+  }
+  std::fclose(f);
+  MappedFile file;
+  file.heap_ = std::move(heap);
+  file.data_ = file.heap_.get();
+  file.size_ = size;
+  file.mapped_ = false;
+  return file;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+#if ASTI_STORE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("stat", path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile();  // empty span; is_mapped() == false
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    // e.g. a filesystem without mapping support — fall back to a copy.
+    return ReadWholeFile(path);
+  }
+  // Snapshot readers fault sections on demand; block readahead of arrays
+  // nobody asked for. Best-effort — the advice failing is not an error.
+  ::madvise(addr, size, MADV_RANDOM);
+  MappedFile file;
+  file.data_ = static_cast<const std::byte*>(addr);
+  file.size_ = size;
+  file.mapped_ = true;
+  return file;
+#else
+  return ReadWholeFile(path);
+#endif
+}
+
+}  // namespace asti::store

@@ -1,0 +1,57 @@
+// Read-only file mapping with a heap fallback.
+//
+// On POSIX hosts the file is mmap'd MAP_PRIVATE|PROT_READ and advised
+// MADV_RANDOM (snapshot readers touch sections on demand; sequential
+// readahead would fault in arrays nobody asked for). Elsewhere — or when
+// mmap fails — the whole file is read into an owned heap buffer, so every
+// consumer sees the same `span<const std::byte>` either way and only the
+// cold-start cost differs.
+//
+// MappedFile is movable, not copyable; consumers that need shared
+// lifetime (graph views, collection chunks) wrap it in a shared_ptr
+// keepalive (SnapshotPayload in snapshot_store.h).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace asti::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps (or reads) `path` read-only. IOError with the failing path and
+  /// errno text on open/stat/map failure; an empty file maps successfully
+  /// to an empty span.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  size_t size() const { return size_; }
+  /// True when the bytes live in an mmap'd region (vs the heap fallback).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  /// The heap fallback (and non-POSIX path): reads the whole file.
+  static StatusOr<MappedFile> ReadWholeFile(const std::string& path);
+
+  void Reset() noexcept;
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;                       // munmap on destruction
+  std::unique_ptr<std::byte[]> heap_;         // fallback ownership
+};
+
+}  // namespace asti::store

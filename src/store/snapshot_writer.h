@@ -1,0 +1,40 @@
+// Writes ASMS v1 snapshot files (snapshot_format.h).
+//
+// The writer serializes a graph's CSR arrays verbatim from its spans —
+// whether the graph is heap-built or itself mmap-backed — plus optional
+// sealed RR-collection prefixes exported from a SamplerCache
+// (SamplerCache::ExportSealed). Collections are re-flattened through their
+// views, so a prefix spanning several shared-collection chunks lands as
+// one contiguous section.
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sampling/sampler_cache.h"
+#include "util/status.h"
+
+namespace asti::store {
+
+struct SnapshotWriteOptions {
+  /// Persist the reverse CSR (the default: loads are pure page faults).
+  /// When false the file shrinks by ~half and the loader rebuilds the
+  /// reverse CSR on open — an O(n + m) counting sort identical to what the
+  /// builder produces, so the loaded graph is still bit-identical.
+  bool include_reverse_csr = true;
+};
+
+/// Serializes `graph` (+ sealed collection prefixes, possibly empty) to
+/// `path`, overwriting any existing file. The write is atomic-ish: bytes go
+/// to `path` + ".tmp" and are renamed over `path` on success, so a crashed
+/// writer never leaves a half-written snapshot under the real name.
+/// IOError on filesystem failure; InvalidArgument for an empty name.
+Status WriteSnapshot(const DirectedGraph& graph, const std::string& name,
+                     WeightScheme scheme,
+                     std::span<const SealedCollectionExport> collections,
+                     const std::string& path, const SnapshotWriteOptions& options = {});
+
+}  // namespace asti::store

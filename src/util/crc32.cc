@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace asti {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t bytes, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace asti

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+// checksum of the snapshot store. Hand-rolled table implementation so the
+// library stays dependency-free; matches zlib's crc32() bit for bit, which
+// keeps snapshot files checkable with standard tooling.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace asti {
+
+/// CRC-32 of `bytes` bytes at `data`. Chain blocks by passing the previous
+/// return value as `seed` (seed 0 starts a fresh checksum, like zlib).
+uint32_t Crc32(const void* data, size_t bytes, uint32_t seed = 0);
+
+}  // namespace asti

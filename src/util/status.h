@@ -125,3 +125,16 @@ class StatusOr {
     ::asti::Status _st = (expr);           \
     if (!_st.ok()) return _st;             \
   } while (false)
+
+#define ASM_STATUS_CONCAT_INNER_(a, b) a##b
+#define ASM_STATUS_CONCAT_(a, b) ASM_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression; on error returns its Status, otherwise
+/// moves the value into `lhs` (which may be a declaration):
+///   ASM_ASSIGN_OR_RETURN(const size_t index, FindSection(type));
+#define ASM_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  ASM_ASSIGN_OR_RETURN_IMPL_(ASM_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+#define ASM_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -19,8 +20,10 @@
 
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
+#include "api/snapshot_serving.h"
 #include "benchutil/experiment.h"
 #include "graph/generators.h"
+#include "store/snapshot_writer.h"
 
 namespace asti {
 namespace {
@@ -457,7 +460,7 @@ TEST_F(EngineTest, HotSwapOfUnrelatedGraphLeavesResultsIdentical) {
   ASSERT_TRUE(replacement.ok());
   const auto swapped = catalog_.Swap("beta", std::move(replacement).value());
   ASSERT_TRUE(swapped.ok());
-  EXPECT_EQ(swapped->epoch, 2u);
+  EXPECT_EQ(swapped->epoch(), 2u);
 
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   for (const SolveRequest& request : alpha_requests) {
@@ -496,7 +499,7 @@ TEST_F(EngineTest, ReRegisteredNameServesTheNewSnapshot) {
   ASSERT_TRUE(bigger.ok());
   const auto re_registered = catalog_.Register("alpha", std::move(bigger).value());
   ASSERT_TRUE(re_registered.ok());
-  EXPECT_EQ(re_registered->epoch, 1u);  // same (name, epoch), new snapshot
+  EXPECT_EQ(re_registered->epoch(), 1u);  // same (name, epoch), new snapshot
 
   // eta=300 is valid on the 500-node replacement but not on the retired
   // 220-node graph: a stale cache would answer InvalidArgument.
@@ -882,6 +885,83 @@ TEST_F(EngineTest, PoolSizesAboveOneAgree) {
       EXPECT_EQ(Fingerprint(*result), reference) << "threads=" << threads;
     }
   }
+}
+
+// --- Snapshot store integration (src/store/) --------------------------------
+
+// A graph served from an mmap'd ASMS snapshot (CSR spans pointing into the
+// mapping) must be indistinguishable from the heap-built snapshot it was
+// written from: bit-identical results for the whole mixed workload at
+// every pool size.
+TEST_F(EngineTest, SnapshotBackedGraphMatchesHeapAtEveryPoolSize) {
+  const std::string path = testing::TempDir() + "/engine_alpha.asms";
+  {
+    const auto alpha = catalog_.Get("alpha");
+    ASSERT_TRUE(alpha.ok());
+    ASSERT_TRUE(store::WriteSnapshot(alpha->graph(), "alpha", alpha->weight_scheme(),
+                                     {}, path)
+                    .ok());
+  }
+  GraphCatalog mapped_catalog;
+  const auto registered = RegisterSnapshotFile(mapped_catalog, path);
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const SolveRequest& request : requests) {
+      SeedMinEngine heap_engine(catalog_, {threads});
+      SeedMinEngine mapped_engine(mapped_catalog, {threads});
+      const auto want = heap_engine.Solve(request);
+      const auto got = mapped_engine.Solve(request);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(Fingerprint(*got), Fingerprint(*want)) << "threads=" << threads;
+      EXPECT_EQ(got->graph_name, "alpha");
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// Warm-starting from persisted sealed prefixes — engine.SaveSnapshot, then
+// a process-fresh catalog+engine built from the file alone — must
+// reproduce cold-cache results bit-for-bit at every pool size, while the
+// adoption counters prove the warm path was actually taken.
+TEST_F(EngineTest, WarmStartFromDiskMatchesColdCacheAtEveryPoolSize) {
+  const std::string path = testing::TempDir() + "/engine_alpha_warm.asms";
+  const std::vector<SolveRequest> requests = MixedRequests("alpha");
+  {
+    SeedMinEngine seeding(catalog_, {2});
+    for (const SolveRequest& request : requests) {
+      ASSERT_TRUE(seeding.Solve(request).ok());
+    }
+    ASSERT_TRUE(seeding.SaveSnapshot("alpha", path).ok());
+  }
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // Cold reference: a fresh engine (empty cache) per request.
+    std::vector<std::string> cold;
+    for (const SolveRequest& request : requests) {
+      SeedMinEngine engine(catalog_, {threads});
+      const auto result = engine.Solve(request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      cold.push_back(Fingerprint(*result));
+    }
+    GraphCatalog warm_catalog;
+    ASSERT_TRUE(RegisterSnapshotFile(warm_catalog, path).ok());
+    SeedMinEngine warm(warm_catalog, {threads});
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const auto result = warm.Solve(requests[i]);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(Fingerprint(*result), cold[i])
+          << "threads=" << threads << " request=" << i;
+    }
+    uint64_t adopted = 0;
+    for (const CounterSample& counter : warm.metrics_snapshot().counters) {
+      if (counter.name == "asti_sampler_cache_sets_adopted_total") {
+        adopted += counter.value;
+      }
+    }
+    EXPECT_GT(adopted, 0u) << "threads=" << threads;
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

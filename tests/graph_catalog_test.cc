@@ -54,15 +54,15 @@ TEST(GraphCatalogTest, RegisterGetRoundTripsMetadata) {
   const EdgeId m = graph.NumEdges();
   const auto registered = catalog.Register("alpha", std::move(graph));
   ASSERT_TRUE(registered.ok());
-  EXPECT_EQ(registered->name, "alpha");
-  EXPECT_EQ(registered->epoch, 1u);
-  EXPECT_EQ(registered->num_nodes, n);
-  EXPECT_EQ(registered->num_edges, m);
+  EXPECT_EQ(registered->name(), "alpha");
+  EXPECT_EQ(registered->epoch(), 1u);
+  EXPECT_EQ(registered->num_nodes(), n);
+  EXPECT_EQ(registered->num_edges(), m);
 
   const auto got = catalog.Get("alpha");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got->snapshot.get(), registered->snapshot.get());
-  EXPECT_EQ(got->epoch, 1u);
+  EXPECT_EQ(got->epoch(), 1u);
   EXPECT_EQ(catalog.size(), 1u);
 }
 
@@ -97,15 +97,15 @@ TEST(GraphCatalogTest, SwapBumpsEpochAndOldRefsStayPinned) {
 
   const auto swapped = catalog.Swap("alpha", MakeGraph(140, 6));
   ASSERT_TRUE(swapped.ok());
-  EXPECT_EQ(swapped->epoch, 2u);
-  EXPECT_EQ(swapped->num_nodes, 140u);
+  EXPECT_EQ(swapped->epoch(), 2u);
+  EXPECT_EQ(swapped->num_nodes(), 140u);
 
   // The old ref still sees its epoch-1 snapshot, untouched.
-  EXPECT_EQ(old_ref->epoch, 1u);
+  EXPECT_EQ(old_ref->epoch(), 1u);
   EXPECT_EQ(old_ref->graph().NumNodes(), 100u);
   const auto current = catalog.Get("alpha");
   ASSERT_TRUE(current.ok());
-  EXPECT_EQ(current->epoch, 2u);
+  EXPECT_EQ(current->epoch(), 2u);
   EXPECT_NE(current->snapshot.get(), old_ref->snapshot.get());
 }
 
@@ -134,7 +134,7 @@ TEST(GraphCatalogTest, ReRegisterAfterRetireRestartsEpochs) {
   ASSERT_TRUE(catalog.Retire("alpha").ok());
   const auto again = catalog.Register("alpha", MakeGraph(90, 10));
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->epoch, 1u);
+  EXPECT_EQ(again->epoch(), 1u);
 }
 
 TEST(GraphCatalogTest, ListIsNameOrderedAndVersionCountsMutations) {
@@ -145,9 +145,9 @@ TEST(GraphCatalogTest, ListIsNameOrderedAndVersionCountsMutations) {
   ASSERT_TRUE(catalog.Swap("beta", MakeGraph(80, 13)).ok());
   const auto refs = catalog.List();
   ASSERT_EQ(refs.size(), 2u);
-  EXPECT_EQ(refs[0].name, "alpha");
-  EXPECT_EQ(refs[1].name, "beta");
-  EXPECT_EQ(refs[1].epoch, 2u);
+  EXPECT_EQ(refs[0].name(), "alpha");
+  EXPECT_EQ(refs[1].name(), "beta");
+  EXPECT_EQ(refs[1].epoch(), 2u);
   EXPECT_EQ(catalog.version(), 3u);
   // Failed mutations don't bump the version.
   ASSERT_FALSE(catalog.Retire("ghost").ok());
@@ -158,7 +158,7 @@ TEST(GraphCatalogTest, RegisterSurrogateUsesCanonicalName) {
   GraphCatalog catalog;
   const auto ref = RegisterSurrogate(catalog, DatasetId::kNetHept, 0.05, 7);
   ASSERT_TRUE(ref.ok());
-  EXPECT_EQ(ref->name, "nethept");
+  EXPECT_EQ(ref->name(), "nethept");
   EXPECT_TRUE(catalog.Get("nethept").ok());
 }
 
@@ -297,7 +297,7 @@ TEST(GraphCatalogTest, ConcurrentRegisterGetSwapIsClean) {
   EXPECT_EQ(wins.load(), kPerThread);  // every name registered exactly once
   const auto final_ref = catalog.Get("swap-me");
   ASSERT_TRUE(final_ref.ok());
-  EXPECT_EQ(final_ref->epoch, 1u + kPerThread);
+  EXPECT_EQ(final_ref->epoch(), 1u + kPerThread);
   EXPECT_EQ(catalog.size(), 1u + kPerThread);
 }
 

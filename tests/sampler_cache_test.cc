@@ -296,7 +296,7 @@ TEST(SamplerCacheTest, SwapMidExtendLeavesOldEpochIntact) {
   ASSERT_TRUE(catalog.Swap("tenant", TestGraph(404, 90)).ok());  // mid-extend
   auto new_ref = catalog.Get("tenant");
   ASSERT_TRUE(new_ref.ok());
-  EXPECT_EQ(new_ref->epoch, 2u);
+  EXPECT_EQ(new_ref->epoch(), 2u);
   SamplerCache new_cache(new_ref->graph());  // the engine's fresh GraphState
   const CollectionView new_view = new_cache.Acquire(key, 40, nullptr, nullptr, nullptr);
   extender.join();
