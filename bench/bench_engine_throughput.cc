@@ -41,6 +41,12 @@
 // bit-identical to its solo run on the same snapshot, even while an
 // unrelated graph is hot-swapped (GraphCatalog::Swap) mid-workload.
 //
+// The sharded-serving phase registers the main snapshot behind a
+// --shards-way ShardTopology (src/shard/) in a fresh catalog and reruns
+// the sweep's query set: every result must be bit-identical to the
+// unsharded reference digests, and the per-shard RR-set counters from the
+// engine's metrics must all be nonzero (work actually fanned out).
+//
 //   --clients 1,2,4,8     driver-concurrency levels to sweep
 //   --queries 24          requests per level
 //   --threads 0           engine pool size (0 = all cores, 1 = sequential)
@@ -52,6 +58,8 @@
 //   --graphs bench-a,bench-b
 //                         graphs for the mixed-workload phase; built-in
 //                         dataset names register their surrogates on demand
+//   --shards 2            shard count for the sharded-serving phase (the
+//                         phase always runs with at least 2 shards)
 //   --eta-fraction 0.05   per-request threshold
 //   --snapshot-dir DIR    where the cold-start phase writes its temp
 //                         graph files (default: system temp dir)
@@ -86,6 +94,7 @@
 #include "graph/generators.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "shard/topology.h"
 #include "store/snapshot_store.h"
 #include "util/check.h"
 
@@ -180,6 +189,9 @@ int main(int argc, char** argv) {
   const size_t sat_queue = count_flag("sat-queue", 4);
   const std::string json_path = cli.GetString("json", "");
   const double eta_fraction = cli.GetDouble("eta-fraction", 0.05);
+  // Shared --graph/--graphs/--shards parsing (benchutil/cli).
+  const GraphFlagSelection graph_flags =
+      ParseGraphFlags(cli, "bench-a", "bench-a,bench-b");
 
   // The serving catalog. Two built-in power-law generator graphs (the
   // regime of the paper's datasets) with different structure seeds;
@@ -221,7 +233,7 @@ int main(int argc, char** argv) {
                                                    static_cast<double>(ref.num_nodes())));
   };
 
-  const GraphRef main_graph = ensure_graph(cli.GetString("graph", "bench-a"));
+  const GraphRef main_graph = ensure_graph(graph_flags.graph);
   const NodeId eta = eta_for(main_graph);
 
   // The request mix: the TRIM family plus the degree heuristic, each query
@@ -258,7 +270,7 @@ int main(int argc, char** argv) {
   for (size_t clients : client_counts) {
     // The engine's driver pool IS the concurrency under test: D drivers
     // execute admitted requests, blocking admission absorbs the rest.
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = pool_threads;
     options.num_drivers = drivers_override != 0 ? drivers_override : clients;
     options.max_queue_depth = std::max(queue_depth, queries);  // never reject here
@@ -315,7 +327,7 @@ int main(int argc, char** argv) {
             << (deterministic ? "yes" : "NO — determinism violated") << "\n";
 
   // --- Saturation: burst everything at a tiny rejecting queue ------------
-  SeedMinEngine::Options sat_options;
+  SeedMinEngine::ServingOptions sat_options;
   sat_options.num_threads = pool_threads;
   sat_options.num_drivers = sat_drivers;
   sat_options.max_queue_depth = sat_queue;
@@ -368,7 +380,7 @@ int main(int argc, char** argv) {
   size_t warm_cache_users = 0;
   bool repeat_deterministic = true;
   {
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = pool_threads;
     options.num_drivers =
         drivers_override != 0 ? drivers_override : client_counts.back();
@@ -489,7 +501,7 @@ int main(int argc, char** argv) {
                                  main_graph.weight_scheme())
                       .ok());
       }
-      SeedMinEngine::Options options;
+      SeedMinEngine::ServingOptions options;
       options.num_threads = pool_threads;
       SeedMinEngine engine(fresh, options);
       const StatusOr<SolveResult> solved = engine.Solve(requests.front());
@@ -509,7 +521,7 @@ int main(int argc, char** argv) {
       GraphCatalog seeding_catalog;
       const auto registered = RegisterSnapshotFile(seeding_catalog, asms_path);
       ASM_CHECK(registered.ok()) << registered.status().ToString();
-      SeedMinEngine::Options options;
+      SeedMinEngine::ServingOptions options;
       options.num_threads = pool_threads;
       SeedMinEngine seeding_engine(seeding_catalog, options);
       for (const SolveRequest& request : requests) {
@@ -524,7 +536,7 @@ int main(int argc, char** argv) {
       GraphCatalog warm_catalog;
       const auto registered = RegisterSnapshotFile(warm_catalog, warm_path);
       ASM_CHECK(registered.ok()) << registered.status().ToString();
-      SeedMinEngine::Options options;
+      SeedMinEngine::ServingOptions options;
       options.num_threads = pool_threads;
       SeedMinEngine engine(warm_catalog, options);
       size_t warm_hits = 0;
@@ -574,8 +586,7 @@ int main(int argc, char** argv) {
   deterministic = deterministic && cold_start_deterministic;
 
   // --- Mixed workload: one engine, many graphs, hot-swap under load ------
-  const std::vector<std::string> mixed_names =
-      ParseNameList(cli.GetString("graphs", "bench-a,bench-b"), "--graphs");
+  const std::vector<std::string>& mixed_names = graph_flags.graphs;
   std::vector<GraphRef> mixed_refs;
   mixed_refs.reserve(mixed_names.size());
   for (const std::string& name : mixed_names) mixed_refs.push_back(ensure_graph(name));
@@ -596,7 +607,7 @@ int main(int argc, char** argv) {
   // Solo reference pass: every mixed request on its own, no interleaving.
   std::vector<uint64_t> mixed_solo;
   {
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = pool_threads;
     SeedMinEngine engine(catalog, options);
     for (const SolveRequest& request : mixed_requests) {
@@ -629,7 +640,7 @@ int main(int argc, char** argv) {
     ASM_CHECK(hot.ok()) << hot.status().ToString();
     ASM_CHECK(catalog.Register("hot-swap-target", std::move(*hot)).ok());
 
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = pool_threads;
     options.num_drivers =
         drivers_override != 0 ? drivers_override : client_counts.back();
@@ -706,6 +717,83 @@ int main(int argc, char** argv) {
             << (mixed_deterministic ? "yes" : "NO — determinism violated") << "\n";
   deterministic = deterministic && mixed_deterministic;
 
+  // --- Sharded serving: same snapshot behind a ShardTopology --------------
+  // The main snapshot registers in a FRESH catalog under its own name with
+  // a K-way plan (so the (name, epoch) identity the checksum mixes in
+  // matches the unsharded reference), and the level-1 query set reruns on
+  // it. The engine fans each request's RR-set ladder across per-shard
+  // pools; the contract is bit-identity against `reference_digests`, with
+  // the per-shard asti_shard_rr_sets_total counters proving the fan-out
+  // actually happened.
+  const uint32_t shard_count =
+      graph_flags.shards > 1 ? graph_flags.shards : 2;
+  double sharded_rate = 0.0;
+  int64_t shard_imbalance_permille = 0;
+  std::vector<uint64_t> per_shard_sets(shard_count, 0);
+  bool sharded_deterministic = true;
+  {
+    GraphCatalog sharded_catalog;
+    auto topology = MakeShardTopology(main_graph.graph(), shard_count);
+    ASM_CHECK(topology.ok()) << topology.status().ToString();
+    const auto registered = sharded_catalog.Register(
+        main_graph.name(), main_graph.snapshot, main_graph.weight_scheme(),
+        /*warm=*/nullptr, std::move(topology).value());
+    ASM_CHECK(registered.ok()) << registered.status().ToString();
+    ASM_CHECK(registered->epoch() == 1);  // digest-comparable to the reference
+
+    SeedMinEngine::ServingOptions options;
+    options.num_threads = pool_threads;
+    options.num_drivers =
+        drivers_override != 0 ? drivers_override : client_counts.back();
+    options.max_queue_depth = std::max(queue_depth, queries);
+    options.block_when_full = true;
+    SeedMinEngine engine(sharded_catalog, options);
+
+    WallTimer timer;
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    futures.reserve(requests.size());
+    for (const SolveRequest& request : requests) {
+      futures.push_back(engine.SubmitAsync(request));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const StatusOr<SolveResult> solved = futures[i].get();
+      ASM_CHECK(solved.ok()) << solved.status().ToString();
+      sharded_deterministic = sharded_deterministic &&
+                              OneResultChecksum(*solved) == reference_digests[i];
+    }
+    sharded_rate = static_cast<double>(queries) / timer.Seconds();
+
+    const MetricsSnapshot snapshot = engine.metrics_snapshot();
+    for (const CounterSample& counter : snapshot.counters) {
+      if (counter.name != "asti_shard_rr_sets_total") continue;
+      for (const auto& [key, value] : counter.labels) {
+        if (key != "shard") continue;
+        const size_t shard = static_cast<size_t>(std::stoull(value));
+        ASM_CHECK(shard < per_shard_sets.size());
+        per_shard_sets[shard] += counter.value;
+      }
+    }
+    for (const GaugeSample& gauge : snapshot.gauges) {
+      if (gauge.name == "asti_shard_imbalance_permille") {
+        shard_imbalance_permille = gauge.value;
+      }
+    }
+  }
+  bool all_shards_sampled = true;
+  std::cout << "\nSharded serving (" << shard_count << " shards, same snapshot): "
+            << FormatDouble(sharded_rate, 1) << " queries/s, per-shard RR sets";
+  for (uint64_t sets : per_shard_sets) {
+    std::cout << ' ' << sets;
+    all_shards_sampled = all_shards_sampled && sets > 0;
+  }
+  std::cout << " (imbalance " << shard_imbalance_permille << " permille)\n"
+            << "Sharded results bit-identical to unsharded runs: "
+            << (sharded_deterministic ? "yes" : "NO — determinism violated") << "\n";
+  if (!all_shards_sampled) {
+    std::cout << "Per-shard RR-set counts all nonzero: NO — fan-out missing\n";
+  }
+  deterministic = deterministic && sharded_deterministic && all_shards_sampled;
+
   const std::string metrics_path = cli.GetString("metrics-out", "");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -776,6 +864,16 @@ int main(int argc, char** argv) {
         << ", \"max_s\": " << static_cast<double>(blackout.MaxValue()) * kNanos
         << ", \"p50_s\": " << QuantileSeconds(blackout, 0.50)
         << "}, \"deterministic\": " << (mixed_deterministic ? "true" : "false")
+        << "},\n"
+        << "  \"sharded\": {\"shards\": " << shard_count
+        << ", \"queries_per_s\": " << sharded_rate
+        << ", \"imbalance_permille\": " << shard_imbalance_permille
+        << ", \"per_shard_sets\": [";
+    for (size_t k = 0; k < per_shard_sets.size(); ++k) {
+      out << (k == 0 ? "" : ", ") << per_shard_sets[k];
+    }
+    out << "], \"deterministic\": "
+        << (sharded_deterministic && all_shards_sampled ? "true" : "false")
         << "},\n"
         << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
         << "}\n";

@@ -32,7 +32,7 @@ int main() {
   // Four drivers serve the four queries concurrently; the admission queue
   // would absorb (or, with block_when_full, throttle) anything beyond
   // drivers + max_queue_depth in a real serving deployment.
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 4;
   SeedMinEngine engine(catalog, options);
   std::vector<std::future<StatusOr<SolveResult>>> futures;

@@ -114,7 +114,7 @@ struct SolveResult {
   bool always_reached = false;
   /// Serving-phase breakdown of this request (queue wait, sampling,
   /// coverage, certify, total; sampling volume). Phase slots are populated
-  /// when the engine runs with Options::enable_metrics (the default);
+  /// when the engine runs with ServingOptions::enable_metrics (the default);
   /// total/queue-wait are always filled. Profiling is passive — the seeds,
   /// spreads, and traces above are bit-identical with metrics on or off.
   RequestProfile profile;

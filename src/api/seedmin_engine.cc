@@ -12,6 +12,7 @@
 #include "diffusion/forward_sim.h"
 #include "diffusion/world.h"
 #include "sampling/sampler_cache.h"
+#include "shard/runtime.h"
 #include "store/snapshot_writer.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -44,6 +45,14 @@ Realization HiddenRealization(const DirectedGraph& graph, const SolveRequest& re
              ? Realization::SampleIc(graph, world_rng)
              : Realization::SampleLt(graph, world_rng);
 }
+
+// One copy of the empty-name rejection, shared by Validate and
+// ResolveGraph so the migration pointer cannot drift between the two
+// boundaries that enforce it.
+constexpr const char kEmptyGraphNameError[] =
+    "request.graph must name a catalog graph (the legacy single-graph "
+    "engine binding is gone: Register the graph in the GraphCatalog and "
+    "set request.graph)";
 
 void FinishResult(const SolveRequest& request, std::vector<AdaptiveRunTrace> traces,
                   SolveResult& result) {
@@ -101,13 +110,24 @@ struct SeedMinEngine::GraphCounters {
 // (new epoch key), so scratch never crosses epochs; the old state — and
 // its snapshot pin — dies with the last in-flight request holding it.
 struct SeedMinEngine::GraphState {
-  GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters)
+  GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters,
+             size_t num_threads)
       : ref(std::move(pinned)),
         counters(std::move(shared_counters)),
-        sampler_cache(ref.graph(), ref.warm_collections()) {}
+        shard_runtime(ref.shard_topology() != nullptr
+                          ? std::make_unique<ShardRuntime>(
+                                ref.snapshot, ref.shard_topology(), num_threads)
+                          : nullptr),
+        sampler_cache(ref.graph(), ref.warm_collections(), shard_runtime.get()) {}
 
   const GraphRef ref;
   const std::shared_ptr<GraphCounters> counters;
+
+  // Shard executor for sharded catalog entries (null for unsharded ones).
+  // Declared BEFORE sampler_cache: the cache holds a non-owning pointer to
+  // it, so it must construct first and destruct last. Per-epoch like the
+  // cache — a Swap that changes the topology builds a fresh runtime.
+  const std::unique_ptr<ShardRuntime> shard_runtime;
 
   // Shared full-residual sampler cache for THIS (name, epoch) snapshot.
   // Living inside the per-epoch state gives invalidation for free: a
@@ -183,7 +203,7 @@ struct SeedMinEngine::PendingRequest {
   std::chrono::steady_clock::time_point admitted_at{};
 };
 
-SeedMinEngine::SeedMinEngine(GraphCatalog& catalog, Options options)
+SeedMinEngine::SeedMinEngine(GraphCatalog& catalog, ServingOptions options)
     : catalog_(&catalog), options_(options) {
   if (options_.num_threads != 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   options_.num_drivers = ResolveThreadCount(options_.num_drivers);
@@ -222,10 +242,7 @@ SeedMinEngine::EngineStats SeedMinEngine::admission_stats() const {
 StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph(
     const std::string& name) {
   if (name.empty()) {
-    return Status::InvalidArgument(
-        "request.graph must name a catalog graph (the legacy single-graph "
-        "engine binding is gone: Register the graph in the GraphCatalog and "
-        "set request.graph)");
+    return Status::InvalidArgument(kEmptyGraphNameError);
   }
   // Resolution and cache update happen under one states_mutex_ critical
   // section (catalog locks nest inside it, never the other way around).
@@ -255,7 +272,8 @@ StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph
     // (carried over so a hot-swap never resets the serving totals or
     // loses old-epoch requests still in flight).
     auto counters = slot != nullptr ? slot->counters : std::make_shared<GraphCounters>();
-    slot = std::make_shared<GraphState>(std::move(*ref), std::move(counters));
+    slot = std::make_shared<GraphState>(std::move(*ref), std::move(counters),
+                                        options_.num_threads);
   }
   return slot;
 }
@@ -279,7 +297,8 @@ void SeedMinEngine::PruneStatesLocked(uint64_t catalog_version) {
     if (current->second.epoch() != it->second->ref.epoch() ||
         current->second.snapshot != it->second->ref.snapshot) {
       it->second = std::make_shared<GraphState>(std::move(current->second),
-                                                it->second->counters);
+                                                it->second->counters,
+                                                options_.num_threads);
     }
     ++it;
   }
@@ -320,12 +339,23 @@ Status SeedMinEngine::ValidateAgainst(const SolveRequest& request,
   return Status::OK();
 }
 
+SolveRequest SeedMinEngine::NewRequest(std::string graph) const {
+  const RequestDefaults& defaults = options_.request_defaults;
+  SolveRequest request;
+  request.graph = std::move(graph);
+  request.algorithm = defaults.algorithm;
+  request.model = defaults.model;
+  request.eta = defaults.eta;
+  request.epsilon = defaults.epsilon;
+  request.realizations = defaults.realizations;
+  request.seed = defaults.seed;
+  request.rounding = defaults.rounding;
+  return request;
+}
+
 Status SeedMinEngine::Validate(const SolveRequest& request) const {
   if (request.graph.empty()) {
-    return Status::InvalidArgument(
-        "request.graph must name a catalog graph (the legacy single-graph "
-        "engine binding is gone: Register the graph in the GraphCatalog and "
-        "set request.graph)");
+    return Status::InvalidArgument(kEmptyGraphNameError);
   }
   auto ref = catalog_->Get(request.graph);
   if (!ref.ok()) return ref.status();
@@ -474,6 +504,31 @@ MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
       snapshot.gauges.push_back(
           {"asti_sampler_cache_bytes", graph_label,
            static_cast<int64_t>(state->sampler_cache.TotalBytes())});
+      // Shard routing series for sharded entries: per-shard generated-set
+      // counters plus an imbalance gauge (1000 × max/mean over shards; 0
+      // until any set has been generated, 1000 = perfectly balanced).
+      if (state->shard_runtime != nullptr) {
+        const std::vector<uint64_t> shard_sets = state->shard_runtime->SetCounts();
+        snapshot.gauges.push_back({"asti_graph_shards", graph_label,
+                                   static_cast<int64_t>(shard_sets.size())});
+        uint64_t total = 0;
+        uint64_t peak = 0;
+        for (size_t k = 0; k < shard_sets.size(); ++k) {
+          snapshot.counters.push_back(
+              {"asti_shard_rr_sets_total",
+               {{"graph", name}, {"shard", std::to_string(k)}},
+               shard_sets[k]});
+          total += shard_sets[k];
+          peak = std::max(peak, shard_sets[k]);
+        }
+        const int64_t imbalance =
+            total == 0 ? 0
+                       : static_cast<int64_t>((1000.0 * static_cast<double>(peak) *
+                                               static_cast<double>(shard_sets.size())) /
+                                              static_cast<double>(total));
+        snapshot.gauges.push_back(
+            {"asti_shard_imbalance_permille", graph_label, imbalance});
+      }
     }
   }
   auto by_identity = [](const auto& a, const auto& b) {

@@ -25,10 +25,10 @@
 //
 // Concurrency model: Solve runs on the caller's thread and fans sampling/
 // coverage work onto the shared pool. SubmitAsync admits the request into
-// a bounded queue (Options::max_queue_depth / max_inflight) served by a
-// small fixed pool of driver threads (Options::num_drivers) — never one
+// a bounded queue (ServingOptions::max_queue_depth / max_inflight) served by a
+// small fixed pool of driver threads (ServingOptions::num_drivers) — never one
 // thread per request — so a burst beyond capacity is answered with
-// Status::ResourceExhausted (or blocks, with Options::block_when_full)
+// Status::ResourceExhausted (or blocks, with ServingOptions::block_when_full)
 // instead of spawning unbounded threads onto the shared pool.
 //
 // Sampler cache: each (name, epoch) GraphState owns a SamplerCache of
@@ -43,7 +43,7 @@
 // keeps its pinned cache alive. request.use_shared_cache = false swaps in
 // a request-private cache (timing A/B) with bit-identical results.
 //
-// Observability: with Options::enable_metrics (the default) every served
+// Observability: with ServingOptions::enable_metrics (the default) every served
 // request carries a populated RequestProfile on its SolveResult (queue
 // wait, sampling/coverage/certify seconds, sampling volume, cache_hit and
 // reused-vs-extended set counts, request-owned vs shared collection
@@ -91,9 +91,30 @@ class ForwardSimulator;
 /// pool, and one admission queue.
 class SeedMinEngine {
  public:
-  struct Options {
+  /// Per-request algorithm defaults, applied by NewRequest(). Split out of
+  /// the serving knobs so harness configuration ("this deployment runs LT
+  /// with η=50 unless the query says otherwise") lives in one place and a
+  /// SolveRequest built by hand is unaffected — these are factory
+  /// defaults, never overrides. Field meanings match SolveRequest.
+  struct RequestDefaults {
+    AlgorithmId algorithm = AlgorithmId::kAsti;
+    DiffusionModel model = DiffusionModel::kIndependentCascade;
+    NodeId eta = 1;
+    double epsilon = 0.5;
+    size_t realizations = 1;
+    uint64_t seed = 1;
+    RootRounding rounding = RootRounding::kRandomized;
+  };
+
+  /// How the engine SERVES: pool size, drivers, queue depth, metrics.
+  /// (Formerly `Options`, which mixed serving knobs with nothing else but
+  /// invited per-request fields to creep in; the deprecated alias below
+  /// keeps old spellings compiling for one release.)
+  struct ServingOptions {
     /// Shared sampling/coverage workers for all requests: 1 = sequential
     /// reference path (no pool), 0 = one per hardware thread, k = k workers.
+    /// Sharded catalog entries divide the resolved count across their
+    /// per-shard pools (each shard gets at least one worker).
     size_t num_threads = 1;
     /// Driver threads executing admitted requests (the async serving
     /// concurrency): 0 = one per hardware thread, k = exactly k drivers.
@@ -122,7 +143,14 @@ class SeedMinEngine {
     /// not touched; total/queue-wait on the profile are still filled (two
     /// clock reads). Results are bit-identical either way.
     bool enable_metrics = true;
+    /// Factory defaults NewRequest() stamps onto fresh requests. Purely a
+    /// construction convenience — requests built by hand ignore it.
+    RequestDefaults request_defaults = {};
   };
+
+  /// Deprecated spelling of ServingOptions, kept one release for
+  /// downstream harnesses; the fields are identical.
+  using Options [[deprecated("use SeedMinEngine::ServingOptions")]] = ServingOptions;
 
   /// Per-graph serving counters, part of admission_stats(): one row per
   /// graph with live serving state, newest catalog epoch the engine has
@@ -147,8 +175,9 @@ class SeedMinEngine {
 
   /// The catalog must outlive the engine (and every outstanding future).
   /// The engine never copies graphs out of it — requests pin snapshots.
-  explicit SeedMinEngine(GraphCatalog& catalog) : SeedMinEngine(catalog, Options{}) {}
-  SeedMinEngine(GraphCatalog& catalog, Options options);
+  explicit SeedMinEngine(GraphCatalog& catalog)
+      : SeedMinEngine(catalog, ServingOptions{}) {}
+  SeedMinEngine(GraphCatalog& catalog, ServingOptions options);
 
   /// Destruction with requests still in the system: requests a driver is
   /// already executing DRAIN (run to completion, futures resolve normally);
@@ -161,6 +190,11 @@ class SeedMinEngine {
 
   /// The shared pool, or nullptr in sequential mode.
   ThreadPool* pool() { return pool_.get(); }
+
+  /// A fresh request against `graph`, pre-filled with this engine's
+  /// ServingOptions::request_defaults. The graph name is required up
+  /// front — there is no "default graph" to fall back to.
+  SolveRequest NewRequest(std::string graph) const;
 
   /// Admission counters (per-outcome, since construction) plus per-graph
   /// serving counters — the serving front's observability hook.
@@ -206,7 +240,7 @@ class SeedMinEngine {
   /// Retire of the name after SubmitAsync returns does not affect this
   /// request. The future resolves to the same StatusOr Solve would return,
   /// or to ResourceExhausted when admission is full (never blocks unless
-  /// Options::block_when_full), or to Cancelled when the engine is
+  /// ServingOptions::block_when_full), or to Cancelled when the engine is
   /// destroyed before execution starts. Invalid requests, unknown graph
   /// names, and already-expired deadlines resolve immediately without
   /// consuming admission capacity. The engine (and its catalog) must
@@ -289,7 +323,7 @@ class SeedMinEngine {
                               size_t num_samples, const CancelScope& scope);
 
   GraphCatalog* catalog_;
-  Options options_;
+  ServingOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // engaged when num_threads != 1
   std::unique_ptr<AdmissionQueue> queue_;
   /// Engine-wide metric store; written once per request completion.

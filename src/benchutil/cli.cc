@@ -103,6 +103,32 @@ std::vector<std::string> ParseNameList(const std::string& spec, const char* flag
   return names;
 }
 
+GraphFlagSelection ParseGraphFlags(const CommandLine& cli,
+                                   const std::string& default_graph,
+                                   const std::string& default_graphs) {
+  GraphFlagSelection selection;
+  const std::string graphs_spec =
+      cli.GetString("graphs", default_graphs.empty() ? default_graph : default_graphs);
+  // An empty spec (asm_tool with the target still to be derived from a
+  // snapshot) parses as an empty set; an explicit --graphs list must be
+  // non-empty.
+  if (!graphs_spec.empty() || cli.Has("graphs")) {
+    selection.graphs = ParseNameList(graphs_spec, "--graphs");
+  }
+  selection.graph = cli.GetString(
+      "graph", selection.graphs.empty() ? std::string() : selection.graphs.front());
+  // The primary graph is always part of the routing set.
+  if (!selection.graph.empty()) {
+    bool found = false;
+    for (const std::string& name : selection.graphs) found |= name == selection.graph;
+    if (!found) selection.graphs.insert(selection.graphs.begin(), selection.graph);
+  }
+  const int64_t shards = cli.GetInt("shards", 1);
+  ASM_CHECK(shards >= 1) << "--shards must be >= 1, got " << shards;
+  selection.shards = static_cast<uint32_t>(shards);
+  return selection;
+}
+
 void ApplyRequestOverrides(const CommandLine& cli, SolveRequest& request) {
   request.epsilon = cli.GetDouble("epsilon", request.epsilon);
   request.seed = static_cast<uint64_t>(

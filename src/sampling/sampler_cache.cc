@@ -23,8 +23,12 @@ SamplerCache::Entry::Entry(const DirectedGraph& graph, const SamplerCacheKey& ke
 }
 
 SamplerCache::SamplerCache(const DirectedGraph& graph,
-                           std::shared_ptr<const CollectionWarmSource> warm)
-    : graph_(&graph), warm_(std::move(warm)), all_nodes_(graph.NumNodes()) {
+                           std::shared_ptr<const CollectionWarmSource> warm,
+                           const IndexedSetGenerator* generator)
+    : graph_(&graph),
+      warm_(std::move(warm)),
+      generator_(generator),
+      all_nodes_(graph.NumNodes()) {
   std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
 }
 
@@ -79,7 +83,14 @@ CollectionView SamplerCache::Acquire(const SamplerCacheKey& key, size_t target,
     const bool first_fill = entry.collection.SealedSets() == 0;
     entry.collection.ExtendTo(
         target, [&](size_t first, size_t count, RrCollection& staging) {
-          if (pool != nullptr) {
+          if (generator_ != nullptr) {
+            // Shard-routed extension: the generator owns its own pools and
+            // honors the identical base.Split(first + i) stream contract,
+            // so the staging content is bit-identical to the paths below.
+            generator_->Generate(key, entry.base,
+                                 entry.root_size ? &*entry.root_size : nullptr,
+                                 all_nodes_, first, count, staging, cancel);
+          } else if (pool != nullptr) {
             // The inner sampler gets a null profile: extension time is
             // charged through the PhaseSpan above, and the staging
             // collection's bytes belong to the SHARED accounting below,

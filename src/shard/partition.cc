@@ -1,0 +1,255 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "graph/graph_builder.h"
+
+namespace asti {
+
+namespace {
+
+// FNV-1a-flavoured mixing, same shape as the bench checksums: order
+// sensitive, cheap, stable across platforms for identical inputs.
+class DigestMixer {
+ public:
+  void Mix(uint64_t word) {
+    word *= 0x100000001b3ULL;
+    digest_ ^= word + (digest_ << 6) + (digest_ >> 2);
+  }
+  void MixDouble(double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    Mix(bits);
+  }
+  uint64_t digest() const { return digest_; }
+
+ private:
+  uint64_t digest_ = 0x51a23d5ed1ce5707ULL;
+};
+
+uint64_t DigestForwardCsr(NodeId num_nodes, std::span<const EdgeId> out_offsets,
+                          std::span<const NodeId> out_targets,
+                          std::span<const double> out_probs) {
+  DigestMixer mixer;
+  mixer.Mix(num_nodes);
+  mixer.Mix(out_targets.size());
+  for (EdgeId offset : out_offsets) mixer.Mix(offset);
+  for (NodeId target : out_targets) mixer.Mix(target);
+  for (double p : out_probs) mixer.MixDouble(p);
+  return mixer.digest();
+}
+
+}  // namespace
+
+uint64_t ForwardCsrDigest(const DirectedGraph& graph) {
+  return DigestForwardCsr(graph.NumNodes(), graph.OutOffsets(), graph.OutTargets(),
+                          graph.OutProbs());
+}
+
+StatusOr<PartitionPlan> BuildPartitionPlan(const DirectedGraph& graph,
+                                           uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("partition plan needs num_shards >= 1");
+  }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards " + std::to_string(num_shards) +
+                                   " exceeds the kMaxShards cap of " +
+                                   std::to_string(kMaxShards));
+  }
+  PartitionPlan plan;
+  plan.num_shards = num_shards;
+  plan.num_nodes = graph.NumNodes();
+  plan.num_edges = graph.NumEdges();
+  plan.graph_digest = ForwardCsrDigest(graph);
+  plan.cuts.reserve(num_shards + 1);
+  plan.cuts.push_back(0);
+  const std::span<const EdgeId> offsets = graph.OutOffsets();
+  // Greedy edge balancing over contiguous rows: shard k takes rows until
+  // it holds its fair share ceil(remaining_edges / remaining_shards),
+  // including the row that crosses the quota — recomputed per shard so a
+  // heavy row overloads only its own shard, never the tail shards. The
+  // last shard absorbs every remaining row; shards past the edge supply
+  // come out empty (K > n is legal).
+  NodeId row = 0;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    const uint32_t shards_left = num_shards - k;
+    const EdgeId begin_offset = offsets[row];
+    const EdgeId edges_left = plan.num_edges - begin_offset;
+    const EdgeId quota = (edges_left + shards_left - 1) / shards_left;
+    NodeId end = row;
+    while (end < plan.num_nodes &&
+           (k + 1 == num_shards || offsets[end] - begin_offset < quota)) {
+      ++end;
+    }
+    plan.cuts.push_back(end);
+    plan.shard_edges.push_back(offsets[end] - begin_offset);
+    row = end;
+  }
+  // Per-shard digests over the arrays ExtractShard will produce: a shard
+  // offsets array rebased to start at 0 outside the owned rows.
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    const NodeId begin = plan.cuts[k];
+    const NodeId end = plan.cuts[k + 1];
+    const EdgeId base = offsets[begin];
+    std::vector<EdgeId> shard_offsets(size_t{plan.num_nodes} + 1, 0);
+    for (NodeId u = begin; u < end; ++u) shard_offsets[u + 1] = offsets[u + 1] - base;
+    for (NodeId u = end; u < plan.num_nodes; ++u) {
+      shard_offsets[u + 1] = shard_offsets[end];
+    }
+    plan.shard_digests.push_back(DigestForwardCsr(
+        plan.num_nodes, shard_offsets,
+        graph.OutTargets().subspan(base, plan.shard_edges[k]),
+        graph.OutProbs().subspan(base, plan.shard_edges[k])));
+  }
+  return plan;
+}
+
+Status ValidatePlan(const PartitionPlan& plan) {
+  if (plan.num_shards == 0 || plan.num_shards > kMaxShards) {
+    return Status::InvalidArgument("partition plan num_shards " +
+                                   std::to_string(plan.num_shards) +
+                                   " outside [1, " + std::to_string(kMaxShards) + "]");
+  }
+  if (plan.cuts.size() != size_t{plan.num_shards} + 1) {
+    return Status::InvalidArgument(
+        "partition plan cuts has " + std::to_string(plan.cuts.size()) +
+        " entries, want num_shards + 1 = " + std::to_string(plan.num_shards + 1));
+  }
+  if (plan.cuts.front() != 0 || plan.cuts.back() != plan.num_nodes) {
+    return Status::InvalidArgument(
+        "partition plan cuts must start at 0 and end at num_nodes (" +
+        std::to_string(plan.num_nodes) + "), got [" +
+        std::to_string(plan.cuts.front()) + ", " + std::to_string(plan.cuts.back()) +
+        "]");
+  }
+  for (size_t k = 0; k + 1 < plan.cuts.size(); ++k) {
+    if (plan.cuts[k] > plan.cuts[k + 1]) {
+      return Status::InvalidArgument("partition plan cuts decrease at index " +
+                                     std::to_string(k));
+    }
+  }
+  if (plan.shard_edges.size() != plan.num_shards) {
+    return Status::InvalidArgument(
+        "partition plan shard_edges has " + std::to_string(plan.shard_edges.size()) +
+        " entries, want num_shards = " + std::to_string(plan.num_shards));
+  }
+  uint64_t total_edges = 0;
+  for (EdgeId e : plan.shard_edges) total_edges += e;
+  if (total_edges != plan.num_edges) {
+    return Status::InvalidArgument("partition plan shard_edges sum to " +
+                                   std::to_string(total_edges) + ", want num_edges = " +
+                                   std::to_string(plan.num_edges));
+  }
+  if (plan.shard_digests.size() != plan.num_shards) {
+    return Status::InvalidArgument(
+        "partition plan shard_digests has " +
+        std::to_string(plan.shard_digests.size()) +
+        " entries, want num_shards = " + std::to_string(plan.num_shards));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckPlanMatchesShape(const PartitionPlan& plan, NodeId num_nodes,
+                             EdgeId num_edges) {
+  ASM_RETURN_NOT_OK(ValidatePlan(plan));
+  if (plan.num_nodes != num_nodes || plan.num_edges != num_edges) {
+    return Status::InvalidArgument(
+        "partition plan describes a (" + std::to_string(plan.num_nodes) + " node, " +
+        std::to_string(plan.num_edges) + " edge) graph, got (" +
+        std::to_string(num_nodes) + ", " + std::to_string(num_edges) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DirectedGraph> ExtractShard(const DirectedGraph& graph,
+                                     const PartitionPlan& plan, uint32_t shard) {
+  ASM_RETURN_NOT_OK(CheckPlanMatchesShape(plan, graph.NumNodes(), graph.NumEdges()));
+  if (shard >= plan.num_shards) {
+    return Status::InvalidArgument("shard index " + std::to_string(shard) +
+                                   " outside [0, " + std::to_string(plan.num_shards) +
+                                   ")");
+  }
+  const NodeId begin = plan.cuts[shard];
+  const NodeId end = plan.cuts[shard + 1];
+  const std::span<const EdgeId> offsets = graph.OutOffsets();
+  const EdgeId base = offsets[begin];
+  const EdgeId edges = plan.shard_edges[shard];
+  auto storage = std::make_shared<GraphStorage>();
+  storage->out_offsets.assign(size_t{plan.num_nodes} + 1, 0);
+  for (NodeId u = begin; u < end; ++u) {
+    storage->out_offsets[u + 1] = offsets[u + 1] - base;
+  }
+  for (NodeId u = end; u < plan.num_nodes; ++u) {
+    storage->out_offsets[u + 1] = storage->out_offsets[end];
+  }
+  const std::span<const NodeId> targets = graph.OutTargets().subspan(base, edges);
+  const std::span<const double> probs = graph.OutProbs().subspan(base, edges);
+  storage->out_targets.assign(targets.begin(), targets.end());
+  storage->out_probs.assign(probs.begin(), probs.end());
+  BuildReverseCsr(*storage);
+  return DirectedGraph(plan.num_nodes, std::move(storage));
+}
+
+StatusOr<DirectedGraph> StitchShards(const PartitionPlan& plan,
+                                     std::span<const DirectedGraph> shards) {
+  ASM_RETURN_NOT_OK(ValidatePlan(plan));
+  if (shards.size() != plan.num_shards) {
+    return Status::InvalidArgument("stitch got " + std::to_string(shards.size()) +
+                                   " shards, plan describes " +
+                                   std::to_string(plan.num_shards));
+  }
+  auto storage = std::make_shared<GraphStorage>();
+  storage->out_offsets.assign(size_t{plan.num_nodes} + 1, 0);
+  storage->out_targets.reserve(plan.num_edges);
+  storage->out_probs.reserve(plan.num_edges);
+  EdgeId base = 0;
+  for (uint32_t k = 0; k < plan.num_shards; ++k) {
+    const DirectedGraph& shard = shards[k];
+    if (shard.NumNodes() != plan.num_nodes) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) + " has " + std::to_string(shard.NumNodes()) +
+          " nodes, plan describes " + std::to_string(plan.num_nodes));
+    }
+    if (shard.NumEdges() != plan.shard_edges[k]) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(k) + " carries " +
+          std::to_string(shard.NumEdges()) + " edges, plan describes " +
+          std::to_string(plan.shard_edges[k]));
+    }
+    const std::span<const EdgeId> shard_offsets = shard.OutOffsets();
+    const NodeId begin = plan.cuts[k];
+    const NodeId end = plan.cuts[k + 1];
+    // Rows outside [begin, end) must be empty, or the shard is not an
+    // extraction under this plan.
+    if (shard_offsets[begin] != 0 || shard_offsets[end] != shard.NumEdges()) {
+      return Status::InvalidArgument("shard " + std::to_string(k) +
+                                     " carries edges outside its plan row range [" +
+                                     std::to_string(begin) + ", " +
+                                     std::to_string(end) + ")");
+    }
+    for (NodeId u = begin; u < end; ++u) {
+      storage->out_offsets[u + 1] = base + shard_offsets[u + 1];
+    }
+    const std::span<const NodeId> targets = shard.OutTargets();
+    const std::span<const double> probs = shard.OutProbs();
+    storage->out_targets.insert(storage->out_targets.end(), targets.begin(),
+                                targets.end());
+    storage->out_probs.insert(storage->out_probs.end(), probs.begin(), probs.end());
+    base += shard.NumEdges();
+    // Carry the running offset across any empty rows owned by later shards.
+    for (NodeId u = end; u < plan.num_nodes; ++u) storage->out_offsets[u + 1] = base;
+  }
+  BuildReverseCsr(*storage);
+  return DirectedGraph(plan.num_nodes, std::move(storage));
+}
+
+}  // namespace asti

@@ -1,0 +1,87 @@
+// Edge-balanced contiguous-range graph partitioning for sharded serving.
+//
+// A PartitionPlan splits a graph's node range [0, n) into K contiguous
+// row ranges [cuts[k], cuts[k+1]) chosen so each range carries roughly
+// m / K forward edges. Each shard materializes as a full-node-count
+// DirectedGraph whose forward CSR is populated only on its own rows —
+// a valid graph in its own right, storable as an ordinary ASMS snapshot
+// (src/shard/sharded_store.h gives one file per shard). StitchShards
+// concatenates the K forward CSRs back into the original graph
+// bit-identically (the reverse CSR is rebuilt with the same counting
+// sort every load path uses), which is what lets a sharded catalog entry
+// serve the exact results the monolithic snapshot would.
+//
+// The plan binds to its graph through forward-CSR digests: one for the
+// whole graph and one per shard, recomputed and checked when a sharded
+// snapshot is loaded so a plan can never stitch shards from a different
+// graph (or a stale epoch) without an InvalidArgument.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// How a graph's rows are split across K shards, plus the digests that
+/// bind the plan to the exact graph it was built from.
+struct PartitionPlan {
+  uint32_t num_shards = 0;
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  /// K+1 non-decreasing row cuts: shard k owns rows [cuts[k], cuts[k+1]),
+  /// cuts[0] == 0, cuts[K] == num_nodes. Empty shards are legal (K > n).
+  std::vector<NodeId> cuts;
+  /// Forward edges owned by each shard; sums to num_edges.
+  std::vector<EdgeId> shard_edges;
+  /// ForwardCsrDigest of the full (stitched) graph.
+  uint64_t graph_digest = 0;
+  /// ForwardCsrDigest of each extracted shard graph.
+  std::vector<uint64_t> shard_digests;
+};
+
+/// Order-sensitive digest of a forward CSR (node count, offsets, targets,
+/// probability bit patterns). The binding check between a PartitionPlan
+/// and the graphs it describes: ForwardCsrDigest(ExtractShard(g, plan, k))
+/// equals plan.shard_digests[k] by construction. Distinct from the
+/// snapshot store's section-CRC graph digest — this one is computable for
+/// any DirectedGraph without a file.
+uint64_t ForwardCsrDigest(const DirectedGraph& graph);
+
+/// Builds an edge-balanced plan with `num_shards` contiguous row ranges.
+/// InvalidArgument when num_shards is 0 or exceeds kMaxShards.
+StatusOr<PartitionPlan> BuildPartitionPlan(const DirectedGraph& graph,
+                                           uint32_t num_shards);
+
+/// Structural validation: every shape constraint a well-formed plan obeys
+/// (cut monotonicity/endpoints, per-shard edge totals, digest counts).
+/// InvalidArgument naming the offending field. Digests are checked against
+/// actual graphs by the load path, not here.
+Status ValidatePlan(const PartitionPlan& plan);
+
+/// Shard k of `graph` under `plan`: a DirectedGraph with the full node
+/// count whose forward CSR contains exactly the rows [cuts[k], cuts[k+1])
+/// (every other row is empty); the reverse CSR is derived by counting
+/// sort. InvalidArgument when the plan does not match the graph's shape
+/// or `shard` is out of range.
+StatusOr<DirectedGraph> ExtractShard(const DirectedGraph& graph,
+                                     const PartitionPlan& plan, uint32_t shard);
+
+/// Reassembles the original graph from its K extracted shards:
+/// concatenates the per-shard forward rows and rebuilds the reverse CSR.
+/// The result is bit-identical to the graph the plan was built from
+/// (verified by digest when loading from disk). InvalidArgument when the
+/// shard count or any shard's shape disagrees with the plan.
+StatusOr<DirectedGraph> StitchShards(const PartitionPlan& plan,
+                                     std::span<const DirectedGraph> shards);
+
+/// Upper bound on num_shards — far beyond any useful fan-out, low enough
+/// that a corrupted plan file cannot demand 2^32 thread pools.
+inline constexpr uint32_t kMaxShards = 1024;
+
+}  // namespace asti

@@ -1,0 +1,77 @@
+// ShardRuntime: shard-routed RR/mRR-set generation behind the
+// SamplerCache's IndexedSetGenerator hook.
+//
+// Work routing, not data routing: RR-set traversal walks the reverse CSR
+// transitively, so every shard's sampler traverses the full stitched
+// graph — what is partitioned across shards is the SET INDEX SPACE.
+// Global set indices are assigned to shards in contiguous blocks
+// (shard(i) = (i / kShardBlockSize) % K), each shard's runs are generated
+// on that shard's private ThreadPool into a per-shard staging collection,
+// and the staging collections merge back into global index order through
+// RrCollection::AppendBatch — the same index-ordered merge protocol the
+// parallel engine established (src/parallel/README.md).
+//
+// Because set i's content is a pure function of (stream base, i) — the
+// PR 1/PR 7 Split(i) discipline — the merged result is bit-identical to
+// the unsharded path at any (shard count × pool size). Cancellation
+// keeps the SamplerCache contract: a shard whose run under-delivers
+// truncates the merge at that run's global position, so the staging
+// handed back is short (and discarded by ExtendTo), never misaligned.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+#include "sampling/sampler_cache.h"
+#include "shard/topology.h"
+
+namespace asti {
+
+/// Global set indices map to shards in contiguous blocks of this many
+/// sets: shard(i) = (i / kShardBlockSize) % num_shards. Purely a
+/// work-routing constant — set content depends only on (base, i), so the
+/// block size is NOT part of the determinism contract and can change
+/// freely. It is small so even the early rungs of the doubling ladder
+/// exercise every shard.
+inline constexpr size_t kShardBlockSize = 64;
+
+/// Per-GraphState shard executor: K private thread pools plus the routing
+/// and merge logic above. Thread-safe (concurrent Generate calls share
+/// only the pools, which isolate callers per TaskGroup, and the atomic
+/// per-shard counters).
+class ShardRuntime final : public IndexedSetGenerator {
+ public:
+  /// `graph` is the full stitched graph the catalog entry serves;
+  /// `topology` its sharding. `num_threads` is the engine-level knob
+  /// (same semantics as ServingOptions::num_threads, 0 = hardware);
+  /// each shard pool gets max(1, resolved / num_shards) workers.
+  ShardRuntime(std::shared_ptr<const DirectedGraph> graph,
+               std::shared_ptr<const ShardTopology> topology, size_t num_threads);
+
+  void Generate(const SamplerCacheKey& key, const Rng& base,
+                const RootSizeSampler* root_size, const std::vector<NodeId>& candidates,
+                size_t first, size_t count, RrCollection& staging,
+                const CancelScope* cancel) const override;
+
+  uint32_t num_shards() const { return topology_->num_shards(); }
+  const ShardTopology& topology() const { return *topology_; }
+  size_t threads_per_shard() const { return pools_.front()->NumThreads(); }
+
+  /// Cumulative RR/mRR sets each shard has generated and merged into its
+  /// graph's shared collections (index k = shard k). Monotone; readable
+  /// while requests run.
+  std::vector<uint64_t> SetCounts() const;
+
+ private:
+  std::shared_ptr<const DirectedGraph> graph_;
+  std::shared_ptr<const ShardTopology> topology_;
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
+  std::unique_ptr<std::atomic<uint64_t>[]> set_counts_;
+};
+
+}  // namespace asti

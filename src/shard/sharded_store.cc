@@ -1,0 +1,210 @@
+#include "shard/sharded_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "shard/partition.h"
+
+namespace asti {
+
+namespace {
+
+// Weight-scheme round-trip for the plan file (the shard ASMS files carry
+// the scheme too; the plan copy lets tooling describe the set without
+// opening a shard).
+const char* SchemeToken(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kWeightedCascade: return "weighted_cascade";
+    case WeightScheme::kTrivalency: return "trivalency";
+    case WeightScheme::kUniform: return "uniform";
+  }
+  return "weighted_cascade";
+}
+
+bool ParseSchemeToken(const std::string& token, WeightScheme& scheme) {
+  if (token == "weighted_cascade") {
+    scheme = WeightScheme::kWeightedCascade;
+  } else if (token == "trivalency") {
+    scheme = WeightScheme::kTrivalency;
+  } else if (token == "uniform") {
+    scheme = WeightScheme::kUniform;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status PlanParseError(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("malformed shard plan " + path + ": " + what);
+}
+
+}  // namespace
+
+std::string ShardPlanPath(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".plan";
+}
+
+std::string ShardSnapshotName(const std::string& name, uint32_t shard,
+                              uint32_t num_shards) {
+  return name + ".shard" + std::to_string(shard) + "of" + std::to_string(num_shards);
+}
+
+Status SaveShardedSnapshot(const DirectedGraph& graph, const std::string& name,
+                           WeightScheme scheme, uint32_t num_shards,
+                           const std::string& dir) {
+  ASM_ASSIGN_OR_RETURN(const PartitionPlan plan, BuildPartitionPlan(graph, num_shards));
+  const store::SnapshotStore store(dir);
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    ASM_ASSIGN_OR_RETURN(const DirectedGraph shard, ExtractShard(graph, plan, k));
+    // Shard files omit the reverse CSR: the stitched graph rebuilds it
+    // anyway, so persisting K reverse copies would double the set's
+    // footprint for bytes the loader never reads.
+    store::SnapshotWriteOptions options;
+    options.include_reverse_csr = false;
+    ASM_RETURN_NOT_OK(store.Save(shard, ShardSnapshotName(name, k, num_shards), scheme,
+                                 /*collections=*/{}, options));
+  }
+  // Plan last (shard writes above created the directory), tmp + rename so
+  // a torn write never leaves a plan naming missing or stale shards.
+  const std::string path = ShardPlanPath(dir, name);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot write shard plan " + tmp);
+    out << "ASMS-PLAN v1\n";
+    out << "name " << name << "\n";
+    out << "scheme " << SchemeToken(scheme) << "\n";
+    out << "shards " << plan.num_shards << "\n";
+    out << "nodes " << plan.num_nodes << "\n";
+    out << "edges " << plan.num_edges << "\n";
+    out << "graph_digest " << plan.graph_digest << "\n";
+    out << "cuts";
+    for (NodeId cut : plan.cuts) out << ' ' << cut;
+    out << "\n";
+    for (uint32_t k = 0; k < num_shards; ++k) {
+      out << "shard " << k << " edges " << plan.shard_edges[k] << " digest "
+          << plan.shard_digests[k] << "\n";
+    }
+    out.flush();
+    if (!out) return Status::IOError("failed writing shard plan " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed renaming shard plan into place at " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<ShardedGraph> LoadShardedSnapshot(const std::string& dir,
+                                           const std::string& name,
+                                           store::SnapshotVerify verify) {
+  const std::string path = ShardPlanPath(dir, name);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("no shard plan for '" + name + "' at " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header) || header != "ASMS-PLAN v1") {
+    return PlanParseError(path, "missing 'ASMS-PLAN v1' header");
+  }
+  auto expect = [&](const char* want) -> Status {
+    std::string key;
+    if (!(in >> key) || key != want) {
+      return PlanParseError(path, std::string("expected '") + want + "' field");
+    }
+    return Status::OK();
+  };
+  ShardedGraph loaded;
+  PartitionPlan plan;
+  std::string scheme_token;
+  ASM_RETURN_NOT_OK(expect("name"));
+  if (!(in >> loaded.name) || loaded.name != name) {
+    return PlanParseError(path, "plan names graph '" + loaded.name + "', want '" +
+                                    name + "'");
+  }
+  ASM_RETURN_NOT_OK(expect("scheme"));
+  if (!(in >> scheme_token) || !ParseSchemeToken(scheme_token, loaded.weight_scheme)) {
+    return PlanParseError(path, "unknown weight scheme '" + scheme_token + "'");
+  }
+  ASM_RETURN_NOT_OK(expect("shards"));
+  if (!(in >> plan.num_shards) || plan.num_shards == 0 ||
+      plan.num_shards > kMaxShards) {
+    return PlanParseError(path, "shard count outside [1, " +
+                                    std::to_string(kMaxShards) + "]");
+  }
+  ASM_RETURN_NOT_OK(expect("nodes"));
+  if (!(in >> plan.num_nodes)) return PlanParseError(path, "unreadable node count");
+  ASM_RETURN_NOT_OK(expect("edges"));
+  if (!(in >> plan.num_edges)) return PlanParseError(path, "unreadable edge count");
+  ASM_RETURN_NOT_OK(expect("graph_digest"));
+  if (!(in >> plan.graph_digest)) {
+    return PlanParseError(path, "unreadable graph_digest");
+  }
+  ASM_RETURN_NOT_OK(expect("cuts"));
+  plan.cuts.resize(size_t{plan.num_shards} + 1);
+  for (NodeId& cut : plan.cuts) {
+    if (!(in >> cut)) return PlanParseError(path, "unreadable cuts row");
+  }
+  plan.shard_edges.resize(plan.num_shards);
+  plan.shard_digests.resize(plan.num_shards);
+  for (uint32_t k = 0; k < plan.num_shards; ++k) {
+    uint32_t index = 0;
+    ASM_RETURN_NOT_OK(expect("shard"));
+    if (!(in >> index) || index != k) {
+      return PlanParseError(path, "shard rows out of order at row " + std::to_string(k));
+    }
+    ASM_RETURN_NOT_OK(expect("edges"));
+    if (!(in >> plan.shard_edges[k])) {
+      return PlanParseError(path, "unreadable edge count for shard " + std::to_string(k));
+    }
+    ASM_RETURN_NOT_OK(expect("digest"));
+    if (!(in >> plan.shard_digests[k])) {
+      return PlanParseError(path, "unreadable digest for shard " + std::to_string(k));
+    }
+  }
+  {
+    const Status valid = ValidatePlan(plan);
+    if (!valid.ok()) return PlanParseError(path, valid.message());
+  }
+
+  // Load every shard snapshot and bind it to the plan by digest before
+  // stitching — a shard file swapped in from another graph or epoch fails
+  // here, not at query time.
+  const store::SnapshotStore store(dir);
+  auto topology = std::make_shared<ShardTopology>();
+  topology->plan = plan;
+  topology->shards.reserve(plan.num_shards);
+  std::vector<DirectedGraph> shard_graphs;
+  shard_graphs.reserve(plan.num_shards);
+  for (uint32_t k = 0; k < plan.num_shards; ++k) {
+    const std::string shard_name = ShardSnapshotName(name, k, plan.num_shards);
+    auto snapshot = store.Load(shard_name, verify);
+    if (!snapshot.ok()) return snapshot.status();
+    const uint64_t digest = ForwardCsrDigest(snapshot->graph);
+    if (digest != plan.shard_digests[k]) {
+      return Status::InvalidArgument(
+          "shard snapshot '" + shard_name + "' does not match the plan: forward-CSR "
+          "digest " + std::to_string(digest) + " != planned " +
+          std::to_string(plan.shard_digests[k]));
+    }
+    shard_graphs.push_back(snapshot->graph);
+    topology->shards.push_back(
+        std::make_shared<const DirectedGraph>(std::move(snapshot->graph)));
+  }
+  ASM_ASSIGN_OR_RETURN(DirectedGraph stitched, StitchShards(plan, shard_graphs));
+  const uint64_t stitched_digest = ForwardCsrDigest(stitched);
+  if (stitched_digest != plan.graph_digest) {
+    return Status::InvalidArgument(
+        "stitched graph digest " + std::to_string(stitched_digest) +
+        " != planned graph_digest " + std::to_string(plan.graph_digest) + " for '" +
+        name + "'");
+  }
+  loaded.graph = std::make_shared<const DirectedGraph>(std::move(stitched));
+  loaded.topology = std::move(topology);
+  return loaded;
+}
+
+}  // namespace asti

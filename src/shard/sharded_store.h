@@ -1,0 +1,69 @@
+// Sharded snapshot persistence: one ASMS file per shard plus a small
+// text partition-plan file binding them together.
+//
+// Layout under a snapshot directory, for a graph named `g` split K ways:
+//
+//   <dir>/g.plan                ASMS-PLAN v1 (text): cuts, per-shard edge
+//                               counts, forward-CSR digests
+//   <dir>/g.shard<k>of<K>.asms  ordinary ASMS snapshot of shard k (a
+//                               full-node-count graph whose forward CSR
+//                               holds only the shard's rows)
+//
+// Each shard file is a self-contained, independently verifiable ASMS
+// snapshot (src/store/), so existing tooling — --verify-snapshot, mmap
+// registration — works on shards unchanged. The plan's digests bind the
+// set together: LoadShardedSnapshot recomputes every shard's
+// ForwardCsrDigest and the stitched graph's digest against the plan, so
+// mixing shard files from different graphs (or epochs) is refused with
+// InvalidArgument rather than served. Writes are atomic per file
+// (tmp + rename), plan last, so a crashed save never leaves a plan
+// pointing at missing shards.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "shard/topology.h"
+#include "store/snapshot_store.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// A loaded sharded snapshot, ready for GraphCatalog registration: the
+/// stitched full graph plus the topology (with per-shard graphs attached).
+struct ShardedGraph {
+  std::shared_ptr<const DirectedGraph> graph;
+  std::shared_ptr<const ShardTopology> topology;
+  std::string name;
+  WeightScheme weight_scheme = WeightScheme::kWeightedCascade;
+};
+
+/// `<dir>/<name>.plan`.
+std::string ShardPlanPath(const std::string& dir, const std::string& name);
+
+/// The snapshot-store name of shard `k` of `num_shards` ("g.shard0of2");
+/// append ".asms" / prepend the directory via store::SnapshotStore.
+std::string ShardSnapshotName(const std::string& name, uint32_t shard,
+                              uint32_t num_shards);
+
+/// Partitions `graph` into `num_shards` edge-balanced shards and writes
+/// the shard snapshots plus the plan file under `dir` (created if
+/// needed). InvalidArgument for a bad shard count or unwritable name;
+/// IOError on filesystem failure.
+Status SaveShardedSnapshot(const DirectedGraph& graph, const std::string& name,
+                           WeightScheme scheme, uint32_t num_shards,
+                           const std::string& dir);
+
+/// Loads the plan and all shard snapshots for `name` under `dir`,
+/// verifies every digest (per shard and stitched), and returns the
+/// reassembled graph + topology. NotFound when no plan file exists (the
+/// caller may fall back to a monolithic `<name>.asms`); InvalidArgument
+/// for a malformed plan or shard files that do not match it.
+StatusOr<ShardedGraph> LoadShardedSnapshot(
+    const std::string& dir, const std::string& name,
+    store::SnapshotVerify verify = store::SnapshotVerify::kStructural);
+
+}  // namespace asti

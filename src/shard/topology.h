@@ -1,0 +1,45 @@
+// ShardTopology: the per-catalog-entry description of how a graph is
+// sharded. Attached to a GraphCatalog registration (GraphMeta keeps a
+// shared_ptr so every pinned GraphRef sees a consistent topology for its
+// epoch) and consumed by ShardRuntime to build per-shard thread pools.
+//
+// The shard graphs themselves are optional: the serving path samples
+// over the stitched full graph (RR traversal needs the whole reverse
+// CSR), so only the plan is load-bearing at runtime. When the entry was
+// loaded from a sharded snapshot the extracted shard graphs ride along
+// for tooling (re-save, inspection); an in-memory reshard may leave
+// `shards` empty.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "shard/partition.h"
+#include "util/status.h"
+
+namespace asti {
+
+/// Immutable sharding description for one catalog epoch.
+struct ShardTopology {
+  PartitionPlan plan;
+  /// Extracted shard graphs, in shard order; may be empty (plan-only
+  /// topology). When present, size() == plan.num_shards.
+  std::vector<std::shared_ptr<const DirectedGraph>> shards;
+
+  uint32_t num_shards() const { return plan.num_shards; }
+};
+
+/// Builds a plan-only topology for `graph` (the common in-memory reshard
+/// path: `asm_tool --shards K` on a monolithic snapshot).
+inline StatusOr<std::shared_ptr<const ShardTopology>> MakeShardTopology(
+    const DirectedGraph& graph, uint32_t num_shards) {
+  ASM_ASSIGN_OR_RETURN(PartitionPlan plan, BuildPartitionPlan(graph, num_shards));
+  auto topology = std::make_shared<ShardTopology>();
+  topology->plan = std::move(plan);
+  return std::shared_ptr<const ShardTopology>(std::move(topology));
+}
+
+}  // namespace asti

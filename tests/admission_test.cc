@@ -202,7 +202,7 @@ TEST_F(AdmissionTest, BurstBeyondCapacityYieldsExactlyKRejections) {
   CancelToken cancel;
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   {
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_drivers = kDrivers;
     options.max_queue_depth = kQueueDepth;
     SeedMinEngine engine(catalog_, options);
@@ -275,7 +275,7 @@ TEST_F(AdmissionTest, PreCancelledTokenResolvesWithoutExecuting) {
 // and is accounted as deadline_in_queue, distinct from the blocker, which
 // EXECUTED and was then cancelled mid-run.
 TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 1;  // one driver: the heavy request blocks the queue
   SeedMinEngine engine(catalog_, options);
 
@@ -316,7 +316,7 @@ TEST_F(AdmissionTest, DeadlineExpiresWhileQueued) {
 // in-queue cancellation: the request never executes and the per-outcome
 // counter says so.
 TEST_F(AdmissionTest, TokenFiredWhileQueuedCountsAsCancelledInQueue) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 1;
   SeedMinEngine engine(catalog_, options);
 
@@ -352,7 +352,7 @@ TEST_F(AdmissionTest, TokenFiredWhileQueuedCountsAsCancelledInQueue) {
 // (chunk-boundary checks inside ParallelRrSampler).
 TEST_F(AdmissionTest, CancellationMidSamplingUnwindsPromptly) {
   for (size_t threads : {size_t{1}, size_t{2}}) {
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = threads;
     options.num_drivers = 1;
     SeedMinEngine engine(catalog_, options);
@@ -433,7 +433,7 @@ TEST(SamplerCancellationTest, FiredScopeStopsBatchGeneration) {
 TEST_F(AdmissionTest, DestructionAbortsQueuedAndDrainsExecuting) {
   std::vector<std::future<StatusOr<SolveResult>>> futures;
   {
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_drivers = 1;
     options.max_queue_depth = 8;
     SeedMinEngine engine(catalog_, options);
@@ -461,7 +461,7 @@ TEST_F(AdmissionTest, DestructionAbortsQueuedAndDrainsExecuting) {
 }
 
 TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 2;
   options.max_queue_depth = 1;  // capacity 3, well below the burst
   options.block_when_full = true;
@@ -505,7 +505,7 @@ TEST_F(AdmissionTest, BlockingAdmissionThrottlesInsteadOfRejecting) {
 // inflight + completed are both non-decreasing across snapshots, and a
 // torn read would show a dip.
 TEST_F(AdmissionTest, PerGraphCountersNeverTearUnderRace) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 2;
   options.max_queue_depth = 16;
   options.block_when_full = true;
@@ -554,7 +554,7 @@ TEST_F(AdmissionTest, PerGraphCountersNeverTearUnderRace) {
 }
 
 TEST_F(AdmissionTest, SolveBatchLargerThanCapacityCompletes) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 1;
   options.max_queue_depth = 1;  // capacity 2 vs a batch of 6
   SeedMinEngine engine(catalog_, options);

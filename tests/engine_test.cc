@@ -237,6 +237,42 @@ TEST_F(EngineTest, UnknownGraphNameIsNotFound) {
   EXPECT_EQ(engine.admission_stats().queue.accepted, 0u);
 }
 
+// The deprecated SeedMinEngine::Options alias must keep compiling (and
+// behaving identically) for one release. Scoped suppression: the alias is
+// [[deprecated]] and CI builds with -Werror.
+TEST_F(EngineTest, DeprecatedOptionsAliasStillServes) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  SeedMinEngine::Options options;
+#pragma GCC diagnostic pop
+  options.num_threads = 1;
+  SeedMinEngine engine(catalog_, options);
+  const auto result = engine.Solve(AlphaRequest());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// NewRequest stamps the serving-level per-request defaults so callers
+// only fill what their query actually overrides.
+TEST_F(EngineTest, NewRequestAppliesConfiguredDefaults) {
+  SeedMinEngine::ServingOptions options;
+  options.request_defaults.algorithm = AlgorithmId::kAsti4;
+  options.request_defaults.eta = 33;
+  options.request_defaults.epsilon = 0.2;
+  options.request_defaults.realizations = 5;
+  options.request_defaults.seed = 99;
+  SeedMinEngine engine(catalog_, options);
+  const SolveRequest request = engine.NewRequest("alpha");
+  EXPECT_EQ(request.graph, "alpha");
+  EXPECT_EQ(request.algorithm, AlgorithmId::kAsti4);
+  EXPECT_EQ(request.eta, 33u);
+  EXPECT_DOUBLE_EQ(request.epsilon, 0.2);
+  EXPECT_EQ(request.realizations, 5u);
+  EXPECT_EQ(request.seed, 99u);
+  const auto solved = engine.Solve(request);
+  ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+  EXPECT_EQ(solved->graph_name, "alpha");
+}
+
 TEST_F(EngineTest, AsyncInvalidRequestResolvesToStatusNotCrash) {
   SeedMinEngine engine(catalog_);
   SolveRequest request = AlphaRequest();
@@ -391,7 +427,7 @@ TEST_F(EngineTest, InterleavingAnotherGraphLeavesResultsIdentical) {
       }
     }
 
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = threads;
     options.num_drivers = 3;
     SeedMinEngine engine(catalog_, options);
@@ -437,7 +473,7 @@ TEST_F(EngineTest, HotSwapOfUnrelatedGraphLeavesResultsIdentical) {
     }
   }
 
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_threads = 2;
   options.num_drivers = 2;
   SeedMinEngine engine(catalog_, options);
@@ -554,7 +590,7 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
       }
     }
     for (size_t drivers : {1u, 3u}) {
-      SeedMinEngine::Options options;
+      SeedMinEngine::ServingOptions options;
       options.num_threads = threads;
       options.num_drivers = drivers;
       options.max_queue_depth = 2;  // capacity 3 or 5 < 6 requests
@@ -582,11 +618,11 @@ TEST_F(EngineTest, QueuedAndRacingDriversMatchSoloAtEveryPoolSize) {
 // are passive, so every result is bit-identical with metrics on or off.
 TEST_F(EngineTest, MetricsOnAndOffProduceBitIdenticalResults) {
   const std::vector<SolveRequest> requests = MixedRequests("alpha");
-  SeedMinEngine::Options with_metrics;
+  SeedMinEngine::ServingOptions with_metrics;
   with_metrics.num_threads = 2;
   with_metrics.enable_metrics = true;
   SeedMinEngine on(catalog_, with_metrics);
-  SeedMinEngine::Options without_metrics = with_metrics;
+  SeedMinEngine::ServingOptions without_metrics = with_metrics;
   without_metrics.enable_metrics = false;
   SeedMinEngine off(catalog_, without_metrics);
   for (const SolveRequest& request : requests) {
@@ -624,7 +660,7 @@ TEST_F(EngineTest, SolveResultCarriesAPopulatedProfile) {
 }
 
 TEST_F(EngineTest, MetricsOffStillFillsTotalButSkipsPhases) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_threads = 2;
   options.enable_metrics = false;
   SeedMinEngine engine(catalog_, options);
@@ -694,7 +730,7 @@ TEST_F(EngineTest, MetricsSnapshotAggregatesServedRequests) {
 // Async requests observe a real (non-negative) queue wait, and queue wait
 // is part of total latency.
 TEST_F(EngineTest, AsyncRequestsRecordQueueWait) {
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_threads = 1;
   options.num_drivers = 1;  // serialize: later requests must wait
   SeedMinEngine engine(catalog_, options);
@@ -776,7 +812,7 @@ TEST_F(EngineTest, RacingCacheExtendersMatchSoloAtEveryPoolSize) {
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       solo.push_back(Fingerprint(*result));
     }
-    SeedMinEngine::Options options;
+    SeedMinEngine::ServingOptions options;
     options.num_threads = threads;
     options.num_drivers = 4;
     SeedMinEngine engine(catalog_, options);

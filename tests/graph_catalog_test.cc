@@ -189,7 +189,7 @@ TEST(GraphCatalogTest, SwapUnderLoadPinsOldEpochRequests) {
     reference = Fingerprint(*solo);
   }
 
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 2;
   SeedMinEngine engine(catalog, options);
   // Admit a burst against the epoch-1 snapshot, then swap immediately:
@@ -225,7 +225,7 @@ TEST(GraphCatalogTest, RetireWithInflightRequestsDrainsCleanly) {
   request.realizations = 4;
   request.seed = 31;
 
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_drivers = 1;
   {
     SeedMinEngine engine(catalog, options);

@@ -475,7 +475,7 @@ TEST(SnapshotLifetimeTest, RetireMidSolveKeepsMappingAlive) {
   GraphCatalog catalog;
   ASSERT_TRUE(RegisterSnapshotFile(catalog, path).ok());
   std::filesystem::remove(path);
-  SeedMinEngine::Options options;
+  SeedMinEngine::ServingOptions options;
   options.num_threads = 2;
   options.num_drivers = 2;
   options.max_queue_depth = requests.size();
