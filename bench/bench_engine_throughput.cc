@@ -47,6 +47,17 @@
 // unsharded reference digests, and the per-shard RR-set counters from the
 // engine's metrics must all be nonzero (work actually fanned out).
 //
+// The churn phase is the production load harness for dynamic graphs
+// (src/delta/): an OPEN-LOOP trace — Poisson arrivals submitted on
+// schedule regardless of completions, so queueing is visible instead of
+// absorbed by a closed loop — runs against one engine while a churner
+// thread mints new epochs mid-run (MakeRandomDelta + SwapWithDelta).
+// In-flight requests finish on their pinned epochs; the phase reports
+// request p50/p99/p999 from the engine's histograms, the swap-blackout
+// quantiles (wall time inside GraphCatalog::Swap), and checks that the
+// post-churn catalog graph is DIGEST-IDENTICAL to replaying the same
+// deltas through the from-scratch GraphBuilder rebuild path.
+//
 //   --clients 1,2,4,8     driver-concurrency levels to sweep
 //   --queries 24          requests per level
 //   --threads 0           engine pool size (0 = all cores, 1 = sequential)
@@ -60,6 +71,11 @@
 //                         dataset names register their surrogates on demand
 //   --shards 2            shard count for the sharded-serving phase (the
 //                         phase always runs with at least 2 shards)
+//   --churn-queries Q     churn phase: open-loop arrivals (default --queries)
+//   --churn-deltas D      churn phase: epoch-minting deltas applied mid-run
+//                         (default 3)
+//   --churn-rate R        churn phase: offered arrival rate in queries/s
+//                         (default: the hot-repeat cold rate, floor 1)
 //   --eta-fraction 0.05   per-request threshold
 //   --snapshot-dir DIR    where the cold-start phase writes its temp
 //                         graph files (default: system temp dir)
@@ -74,6 +90,9 @@
 // — the same numbers a production scrape would see — not from bench-side
 // timing.
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -82,11 +101,15 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "api/snapshot_serving.h"
+#include "delta/apply.h"
+#include "delta/catalog_delta.h"
+#include "delta/churn.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
 #include "benchutil/timer.h"
@@ -794,6 +817,163 @@ int main(int argc, char** argv) {
   }
   deterministic = deterministic && sharded_deterministic && all_shards_sampled;
 
+  // --- Churn: open-loop arrivals against a graph minting new epochs -------
+  // The main snapshot serves under the name "churn" in a fresh catalog
+  // while a churner thread applies random EdgeDelta batches through
+  // SwapWithDelta. Arrivals are open-loop Poisson: submission times come
+  // from the trace clock, not from completions, so swap interference shows
+  // up as latency instead of being hidden by a closed loop. Every request
+  // must complete OK on whatever epoch it pinned at admission; the end
+  // state must be digest-identical to replaying the same deltas through
+  // ApplyDeltaByRebuild (the from-scratch GraphBuilder path).
+  const size_t churn_queries =
+      count_flag("churn-queries", static_cast<int64_t>(queries));
+  const size_t churn_delta_count = count_flag("churn-deltas", 3);
+  const double churn_rate_flag = cli.GetDouble("churn-rate", 0.0);
+  size_t churn_deltas_applied = 0;
+  size_t churn_inserted = 0;
+  size_t churn_deleted = 0;
+  size_t churn_reweighted = 0;
+  bool churn_resharded = false;
+  bool churn_digest_match = false;
+  bool churn_all_ok = true;
+  double churn_offered_rate = 0.0;
+  double churn_completed_rate = 0.0;
+  double churn_p50 = 0.0;
+  double churn_p99 = 0.0;
+  double churn_p999 = 0.0;
+  uint64_t churn_final_epoch = 0;
+  LogHistogram churn_swap_blackout;
+  LogHistogram churn_apply_time;
+  {
+    GraphCatalog churn_catalog;
+    // The churn entry carries a 2-way topology so every swap also
+    // exercises the re-planning path (resharded epochs stay bit-identical
+    // to unsharded serving — shard_test/delta_test pin that).
+    auto churn_topology = MakeShardTopology(main_graph.graph(), 2);
+    ASM_CHECK(churn_topology.ok()) << churn_topology.status().ToString();
+    ASM_CHECK(churn_catalog
+                  .Register("churn", main_graph.snapshot, main_graph.weight_scheme(),
+                            /*warm=*/nullptr, std::move(churn_topology).value())
+                  .ok());
+
+    SeedMinEngine::ServingOptions options;
+    options.num_threads = pool_threads;
+    options.num_drivers =
+        drivers_override != 0 ? drivers_override : client_counts.back();
+    options.max_queue_depth = std::max(queue_depth, churn_queries);
+    options.block_when_full = true;
+    SeedMinEngine engine(churn_catalog, options);
+
+    churn_offered_rate =
+        churn_rate_flag > 0.0 ? churn_rate_flag : std::max(1.0, cold_rate);
+    const double expected_seconds =
+        static_cast<double>(churn_queries) / churn_offered_rate;
+
+    // Churner thread: mint churn_delta_count epochs spaced across the
+    // expected run, maintaining an independently-rebuilt reference graph.
+    DirectedGraph reference = main_graph.graph();
+    std::atomic<bool> churn_done{false};
+    std::thread churner([&] {
+      Rng delta_rng(seed + 4242);
+      const auto gap = std::chrono::duration<double>(
+          expected_seconds / static_cast<double>(churn_delta_count + 1));
+      for (size_t i = 0; i < churn_delta_count && !churn_done.load(); ++i) {
+        std::this_thread::sleep_for(gap);
+        const auto current = churn_catalog.Get("churn");
+        ASM_CHECK(current.ok()) << current.status().ToString();
+        auto delta = MakeRandomDelta(current->graph(), ChurnSpec{}, delta_rng);
+        ASM_CHECK(delta.ok()) << delta.status().ToString();
+        const auto swapped = SwapWithDelta(churn_catalog, "churn", *delta);
+        ASM_CHECK(swapped.ok()) << swapped.status().ToString();
+        churn_swap_blackout.Record(
+            static_cast<uint64_t>(swapped->swap_seconds / kNanos));
+        churn_apply_time.Record(
+            static_cast<uint64_t>(swapped->apply_seconds / kNanos));
+        churn_inserted += swapped->stats.inserted;
+        churn_deleted += swapped->stats.deleted;
+        churn_reweighted += swapped->stats.reweighted;
+        churn_resharded = churn_resharded || swapped->resharded;
+        ++churn_deltas_applied;
+        // The independent check path: same batch, from-scratch rebuild.
+        auto rebuilt = ApplyDeltaByRebuild(reference, *delta);
+        ASM_CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+        reference = std::move(rebuilt).value();
+      }
+    });
+
+    // Open-loop arrival trace: exponential gaps at the offered rate, each
+    // request submitted at its scheduled time whether or not earlier ones
+    // finished.
+    Rng arrival_rng(seed + 8888);
+    std::vector<std::future<StatusOr<SolveResult>>> futures;
+    futures.reserve(churn_queries);
+    const auto trace_start = std::chrono::steady_clock::now();
+    double arrival_offset = 0.0;
+    WallTimer timer;
+    for (size_t i = 0; i < churn_queries; ++i) {
+      arrival_offset +=
+          -std::log(1.0 - arrival_rng.NextDouble()) / churn_offered_rate;
+      std::this_thread::sleep_until(
+          trace_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(arrival_offset)));
+      SolveRequest request;
+      request.graph = "churn";
+      request.algorithm = mix[i % (sizeof(mix) / sizeof(mix[0]))];
+      request.model = model;
+      request.eta = eta;
+      request.seed = seed + 9000 + i;
+      futures.push_back(engine.SubmitAsync(request));
+    }
+    for (auto& future : futures) {
+      const StatusOr<SolveResult> solved = future.get();
+      churn_all_ok = churn_all_ok && solved.ok();
+      if (!solved.ok()) {
+        std::cerr << "churn request failed: " << solved.status().ToString() << "\n";
+      }
+    }
+    churn_completed_rate = static_cast<double>(churn_queries) / timer.Seconds();
+    churn_done.store(true);
+    churner.join();
+
+    const MetricsSnapshot snapshot = engine.metrics_snapshot();
+    const HistogramData latency =
+        snapshot.MergedHistogram("asti_request_latency_seconds");
+    churn_p50 = QuantileSeconds(latency, 0.50);
+    churn_p99 = QuantileSeconds(latency, 0.99);
+    churn_p999 = QuantileSeconds(latency, 0.999);
+
+    // Post-churn digest identity: the served graph (minted delta by delta)
+    // against the reference (rebuilt from scratch per delta).
+    const auto final_ref = churn_catalog.Get("churn");
+    ASM_CHECK(final_ref.ok());
+    churn_final_epoch = final_ref->epoch();
+    churn_digest_match =
+        ForwardCsrDigest(final_ref->graph()) == ForwardCsrDigest(reference);
+  }
+  const HistogramData churn_blackout = churn_swap_blackout.Snapshot();
+  const HistogramData churn_apply = churn_apply_time.Snapshot();
+  std::cout << "\nChurn (open-loop, " << churn_queries << " Poisson arrivals at "
+            << FormatDouble(churn_offered_rate, 1) << "/s, " << churn_deltas_applied
+            << " deltas -> epoch " << churn_final_epoch << ", +" << churn_inserted
+            << " -" << churn_deleted << " ~" << churn_reweighted << " edges"
+            << (churn_resharded ? ", re-planned shards" : "") << "):\n"
+            << "  completed " << FormatDouble(churn_completed_rate, 1)
+            << " queries/s, latency p50=" << FormatDouble(churn_p50 * 1e3)
+            << "ms p99=" << FormatDouble(churn_p99 * 1e3)
+            << "ms p999=" << FormatDouble(churn_p999 * 1e3) << "ms\n"
+            << "  swap blackout p50="
+            << FormatDouble(QuantileSeconds(churn_blackout, 0.50) * 1e3) << "ms max="
+            << FormatDouble(static_cast<double>(churn_blackout.MaxValue()) * kNanos *
+                            1e3)
+            << "ms (apply p50="
+            << FormatDouble(QuantileSeconds(churn_apply, 0.50) * 1e3)
+            << "ms, off the serving path)\n"
+            << "  post-churn digest == from-scratch rebuild: "
+            << (churn_digest_match ? "yes" : "NO — delta contract violated")
+            << "; all requests completed: " << (churn_all_ok ? "yes" : "NO") << "\n";
+  deterministic = deterministic && churn_digest_match && churn_all_ok;
+
   const std::string metrics_path = cli.GetString("metrics-out", "");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -875,6 +1055,26 @@ int main(int argc, char** argv) {
     out << "], \"deterministic\": "
         << (sharded_deterministic && all_shards_sampled ? "true" : "false")
         << "},\n"
+        << "  \"churn\": {\"queries\": " << churn_queries
+        << ", \"offered_rate_per_s\": " << churn_offered_rate
+        << ", \"completed_rate_per_s\": " << churn_completed_rate
+        << ", \"deltas_applied\": " << churn_deltas_applied
+        << ", \"final_epoch\": " << churn_final_epoch
+        << ", \"edges_inserted\": " << churn_inserted
+        << ", \"edges_deleted\": " << churn_deleted
+        << ", \"edges_reweighted\": " << churn_reweighted
+        << ", \"resharded\": " << (churn_resharded ? "true" : "false")
+        << ", \"latency_p50_s\": " << churn_p50
+        << ", \"latency_p99_s\": " << churn_p99
+        << ", \"latency_p999_s\": " << churn_p999
+        << ", \"swap_blackout\": {\"swaps\": " << churn_blackout.Count()
+        << ", \"p50_s\": " << QuantileSeconds(churn_blackout, 0.50)
+        << ", \"max_s\": " << static_cast<double>(churn_blackout.MaxValue()) * kNanos
+        << ", \"apply_p50_s\": " << QuantileSeconds(churn_apply, 0.50)
+        << "}, \"digest_match\": " << (churn_digest_match ? "true" : "false")
+        << ", \"all_requests_ok\": " << (churn_all_ok ? "true" : "false")
+        << ", \"deterministic\": "
+        << (churn_digest_match && churn_all_ok ? "true" : "false") << "},\n"
         << "  \"deterministic\": " << (deterministic ? "true" : "false") << "\n"
         << "}\n";
   }

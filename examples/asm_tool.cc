@@ -34,7 +34,13 @@
 // one — an A/B timing knob; seeds/spreads/traces are bit-identical either
 // way), --save-traces PATH, --quiet, --metrics (print the request's phase
 // profile — including cache_hit and reused-vs-extended set counts — and
-// the engine's metrics snapshot in Prometheus text format after the run).
+// the engine's metrics snapshot in Prometheus text format after the run),
+// --apply-delta FILE (mutate the target graph before solving: FILE is an
+// EdgeDelta batch in text or binary ASMD form — see src/delta/README.md —
+// applied through SwapWithDelta, so the query serves the minted epoch;
+// the minted graph is digest-identical to a from-scratch rebuild of the
+// mutated edge list, and a sharded target is re-planned with the same
+// shard count).
 //
 // Snapshot persistence (src/store/, ASMS files):
 //   --snapshot-dir DIR     before building a surrogate, try DIR/<name>.asms
@@ -59,6 +65,8 @@
 #include "api/graph_catalog.h"
 #include "api/seedmin_engine.h"
 #include "api/snapshot_serving.h"
+#include "delta/catalog_delta.h"
+#include "delta/delta_io.h"
 #include "obs/export.h"
 #include "benchutil/cli.h"
 #include "benchutil/table.h"
@@ -249,6 +257,29 @@ int Run(int argc, char** argv) {
     std::cerr << "graph: " << target.status().ToString() << "\n";
     return 1;
   }
+  // Epoch minting: apply an EdgeDelta batch to the target before solving.
+  // The solve below then routes to the minted epoch like any post-swap
+  // request would in a live deployment.
+  if (cli.Has("apply-delta")) {
+    const std::string delta_path = cli.GetString("apply-delta", "");
+    auto delta = LoadDeltaFile(delta_path);
+    if (!delta.ok()) {
+      std::cerr << "delta: " << delta.status().ToString() << "\n";
+      return 1;
+    }
+    auto swapped = SwapWithDelta(catalog, *target, *delta);
+    if (!swapped.ok()) {
+      std::cerr << "delta: " << swapped.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "delta: " << delta_path << " applied (+" << swapped->stats.inserted
+              << " -" << swapped->stats.deleted << " ~" << swapped->stats.reweighted
+              << " edges, " << swapped->stats.rows_touched << " rows) -> epoch "
+              << swapped->ref.epoch() << " digest 0x" << std::hex
+              << swapped->minted_digest << std::dec
+              << (swapped->resharded ? " (re-planned shards)" : "") << "\n";
+  }
+
   const auto ref = catalog.Get(*target);
   if (!ref.ok()) {
     std::cerr << "graph: " << ref.status().ToString() << "\n";

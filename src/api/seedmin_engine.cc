@@ -111,14 +111,15 @@ struct SeedMinEngine::GraphCounters {
 // its snapshot pin — dies with the last in-flight request holding it.
 struct SeedMinEngine::GraphState {
   GraphState(GraphRef pinned, std::shared_ptr<GraphCounters> shared_counters,
-             size_t num_threads)
+             size_t num_threads, size_t cache_byte_budget)
       : ref(std::move(pinned)),
         counters(std::move(shared_counters)),
         shard_runtime(ref.shard_topology() != nullptr
                           ? std::make_unique<ShardRuntime>(
                                 ref.snapshot, ref.shard_topology(), num_threads)
                           : nullptr),
-        sampler_cache(ref.graph(), ref.warm_collections(), shard_runtime.get()) {}
+        sampler_cache(ref.graph(), ref.warm_collections(), shard_runtime.get(),
+                      cache_byte_budget) {}
 
   const GraphRef ref;
   const std::shared_ptr<GraphCounters> counters;
@@ -273,7 +274,8 @@ StatusOr<std::shared_ptr<SeedMinEngine::GraphState>> SeedMinEngine::ResolveGraph
     // loses old-epoch requests still in flight).
     auto counters = slot != nullptr ? slot->counters : std::make_shared<GraphCounters>();
     slot = std::make_shared<GraphState>(std::move(*ref), std::move(counters),
-                                        options_.num_threads);
+                                        options_.num_threads,
+                                        options_.cache_byte_budget);
   }
   return slot;
 }
@@ -298,7 +300,8 @@ void SeedMinEngine::PruneStatesLocked(uint64_t catalog_version) {
         current->second.snapshot != it->second->ref.snapshot) {
       it->second = std::make_shared<GraphState>(std::move(current->second),
                                                 it->second->counters,
-                                                options_.num_threads);
+                                                options_.num_threads,
+                                                options_.cache_byte_budget);
     }
     ++it;
   }
@@ -501,6 +504,8 @@ MetricsSnapshot SeedMinEngine::metrics_snapshot() const {
           {"asti_sampler_cache_warm_starts_total", graph_label, cache.warm_starts});
       snapshot.counters.push_back(
           {"asti_sampler_cache_sets_adopted_total", graph_label, cache.sets_adopted});
+      snapshot.counters.push_back(
+          {"asti_sampler_cache_evictions_total", graph_label, cache.evictions});
       snapshot.gauges.push_back(
           {"asti_sampler_cache_bytes", graph_label,
            static_cast<int64_t>(state->sampler_cache.TotalBytes())});

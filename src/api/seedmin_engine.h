@@ -107,9 +107,6 @@ class SeedMinEngine {
   };
 
   /// How the engine SERVES: pool size, drivers, queue depth, metrics.
-  /// (Formerly `Options`, which mixed serving knobs with nothing else but
-  /// invited per-request fields to creep in; the deprecated alias below
-  /// keeps old spellings compiling for one release.)
   struct ServingOptions {
     /// Shared sampling/coverage workers for all requests: 1 = sequential
     /// reference path (no pool), 0 = one per hardware thread, k = k workers.
@@ -143,14 +140,18 @@ class SeedMinEngine {
     /// not touched; total/queue-wait on the profile are still filled (two
     /// clock reads). Results are bit-identical either way.
     bool enable_metrics = true;
+    /// Byte budget for each graph's shared sampler cache: when an Acquire
+    /// pushes the cache's resident bytes past this, least-recently-used
+    /// (kind, model, η, rounding) entries are evicted until it fits (the
+    /// entry just served always survives). 0 = unlimited. Eviction never
+    /// changes results — a re-created entry regenerates bit-identical sets
+    /// — it trades recomputation for memory; asti_sampler_cache_evictions
+    /// counts the drops.
+    size_t cache_byte_budget = 0;
     /// Factory defaults NewRequest() stamps onto fresh requests. Purely a
     /// construction convenience — requests built by hand ignore it.
     RequestDefaults request_defaults = {};
   };
-
-  /// Deprecated spelling of ServingOptions, kept one release for
-  /// downstream harnesses; the fields are identical.
-  using Options [[deprecated("use SeedMinEngine::ServingOptions")]] = ServingOptions;
 
   /// Per-graph serving counters, part of admission_stats(): one row per
   /// graph with live serving state, newest catalog epoch the engine has

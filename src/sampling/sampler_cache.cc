@@ -24,19 +24,20 @@ SamplerCache::Entry::Entry(const DirectedGraph& graph, const SamplerCacheKey& ke
 
 SamplerCache::SamplerCache(const DirectedGraph& graph,
                            std::shared_ptr<const CollectionWarmSource> warm,
-                           const IndexedSetGenerator* generator)
+                           const IndexedSetGenerator* generator, size_t byte_budget)
     : graph_(&graph),
       warm_(std::move(warm)),
       generator_(generator),
+      byte_budget_(byte_budget),
       all_nodes_(graph.NumNodes()) {
   std::iota(all_nodes_.begin(), all_nodes_.end(), NodeId{0});
 }
 
-SamplerCache::Entry& SamplerCache::EntryFor(const SamplerCacheKey& key) {
+std::shared_ptr<SamplerCache::Entry> SamplerCache::EntryFor(const SamplerCacheKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::unique_ptr<Entry>& slot = entries_[key];
+  std::shared_ptr<Entry>& slot = entries_[key];
   if (slot == nullptr) {
-    slot = std::make_unique<Entry>(*graph_, key);
+    slot = std::make_shared<Entry>(*graph_, key);
     // Warm start: adopt the persisted sealed prefix (if the snapshot
     // carries one for this key) as the entry's initial extent. The source
     // has already certified seed/contract/digest, so the adopted sets are
@@ -51,7 +52,34 @@ SamplerCache::Entry& SamplerCache::EntryFor(const SamplerCacheKey& key) {
       }
     }
   }
-  return *slot;
+  slot->last_used = ++use_tick_;
+  return slot;
+}
+
+void SamplerCache::EnforceBudget(const SamplerCacheKey& just_used) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    total += entry->collection.MemoryBytes();
+  }
+  while (total > byte_budget_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == just_used) continue;
+      if (victim == entries_.end() || it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    total -= std::min(total, victim->second->collection.MemoryBytes());
+    // Erasing the map slot drops only the cache's pin: an Acquire that
+    // already holds the shared_ptr finishes normally, and the views it
+    // returned pin their chunks past even that. The next Acquire for this
+    // key re-creates the entry and regenerates the identical sets.
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 namespace {
@@ -76,7 +104,8 @@ CollectionView SamplerCache::Acquire(const SamplerCacheKey& key, size_t target,
                                      ThreadPool* pool, const CancelScope* cancel,
                                      RequestProfile* profile) {
   ASM_CHECK(target > 0);
-  Entry& entry = EntryFor(key);
+  const std::shared_ptr<Entry> pin = EntryFor(key);
+  Entry& entry = *pin;
   size_t extended = 0;
   if (entry.collection.SealedSets() < target) {
     PhaseSpan span(profile, RequestPhase::kSampling);
@@ -130,7 +159,9 @@ CollectionView SamplerCache::Acquire(const SamplerCacheKey& key, size_t target,
   if (extended == 0 && served == target) hits_.fetch_add(1, std::memory_order_relaxed);
   sets_reused_.fetch_add(reused, std::memory_order_relaxed);
   NoteSharedSampling(profile, reused, extended, entry.collection.MemoryBytes());
-  return entry.collection.Prefix(served);
+  CollectionView view = entry.collection.Prefix(served);
+  if (byte_budget_ > 0) EnforceBudget(key);
+  return view;
 }
 
 size_t SamplerCache::TotalBytes() const {
@@ -152,6 +183,7 @@ SamplerCacheStats SamplerCache::Stats() const {
   stats.sets_extended = sets_extended_.load(std::memory_order_relaxed);
   stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   stats.sets_adopted = sets_adopted_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -100,6 +100,7 @@ struct SamplerCacheStats {
   uint64_t sets_extended = 0;
   uint64_t warm_starts = 0;   // entries created with an adopted disk prefix
   uint64_t sets_adopted = 0;  // sets those prefixes contributed
+  uint64_t evictions = 0;     // entries dropped by the byte-budget LRU
 };
 
 /// A persisted sealed prefix a cache entry can adopt as its initial
@@ -172,10 +173,20 @@ class SamplerCache {
   /// cached-vs-fresh determinism contract is unchanged. `generator`
   /// (nullable, must outlive the cache) overrides how extensions produce
   /// their sets — the shard-routing hook; null keeps the built-in
-  /// pooled/sequential samplers.
+  /// pooled/sequential samplers. `byte_budget` (0 = unlimited) bounds
+  /// TotalBytes with LRU eviction over whole (kind, model, η, rounding)
+  /// entries: after an Acquire pushes the cache past the budget, the
+  /// least-recently-acquired OTHER entries are dropped until it fits (the
+  /// entry just served is never evicted — one working set always fits).
+  /// Eviction is invisible to correctness: live CollectionViews pin their
+  /// chunks independently, in-flight extenders hold the entry itself, and
+  /// a re-created entry regenerates the identical sets (streams derive
+  /// from the key, never from history). Only timing and the eviction
+  /// counter observe it.
   explicit SamplerCache(const DirectedGraph& graph,
                         std::shared_ptr<const CollectionWarmSource> warm = nullptr,
-                        const IndexedSetGenerator* generator = nullptr);
+                        const IndexedSetGenerator* generator = nullptr,
+                        size_t byte_budget = 0);
 
   /// Returns a view of EXACTLY the first `target` sets of the entry for
   /// `key`, extending the shared collection first if it is short. The view
@@ -210,21 +221,34 @@ class SamplerCache {
     Rng base;
     /// mRR entries only.
     std::optional<RootSizeSampler> root_size;
+    /// LRU recency: the use_tick_ value of this entry's latest Acquire.
+    /// Guarded by the cache mutex_.
+    uint64_t last_used = 0;
   };
 
-  Entry& EntryFor(const SamplerCacheKey& key);
+  /// Creates/touches the entry and returns a pin: eviction may drop the
+  /// map slot at any time, so callers work through their own shared_ptr.
+  std::shared_ptr<Entry> EntryFor(const SamplerCacheKey& key);
+
+  /// Drops least-recently-used entries (never `just_used`) until
+  /// TotalBytes fits the budget or only the just-used entry remains.
+  void EnforceBudget(const SamplerCacheKey& just_used);
 
   const DirectedGraph* graph_;
   /// Persisted-prefix source (nullable); consulted once per entry creation.
   std::shared_ptr<const CollectionWarmSource> warm_;
   /// Extension strategy override (nullable, non-owning).
   const IndexedSetGenerator* generator_;
+  /// LRU byte budget; 0 = unlimited (entries live for the epoch).
+  const size_t byte_budget_;
   /// Canonical full-residual candidate list (0..n-1); what round 1 of every
   /// policy passes today, and what ATEUC/Bisection call `all_nodes`.
   std::vector<NodeId> all_nodes_;
 
-  mutable std::mutex mutex_;  // guards entries_ map shape only
-  std::map<SamplerCacheKey, std::unique_ptr<Entry>> entries_;
+  mutable std::mutex mutex_;  // guards entries_ map shape + LRU bookkeeping
+  std::map<SamplerCacheKey, std::shared_ptr<Entry>> entries_;
+  /// Monotone Acquire clock feeding Entry::last_used (guarded by mutex_).
+  uint64_t use_tick_ = 0;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -233,6 +257,7 @@ class SamplerCache {
   std::atomic<uint64_t> sets_extended_{0};
   std::atomic<uint64_t> warm_starts_{0};
   std::atomic<uint64_t> sets_adopted_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace asti

@@ -1,0 +1,69 @@
+// Incremental snapshots: `<name>.delta.asms` staged next to `<name>.asms`.
+//
+// The ROADMAP's "incremental / delta snapshots" item, paired with
+// src/delta/: instead of rewriting a multi-GB snapshot for every epoch,
+// the store persists only the EdgeDelta ops (ASMD v1, delta/delta_io.h)
+// keyed to the base snapshot file's ASMS graph_digest. Every unchanged
+// byte is reused from the base file — loading mmaps `<name>.asms` exactly
+// as before and mints the next epoch in memory with ApplyDelta, whose
+// digest-identity contract guarantees the minted graph matches what a
+// full rewritten snapshot of the mutated edge list would have contained.
+//
+// Bindings checked on load, outermost first: the delta header's
+// base_store_digest must equal the base file's graph_digest (a swapped or
+// foreign `<name>.asms` is refused in O(1)), then ApplyDelta re-checks the
+// batch's forward-CSR base/result digests. The base's persisted warm
+// collections stay valid for the BASE epoch only; the minted graph starts
+// cold (its distribution changed).
+
+#pragma once
+
+#include <string>
+
+#include "delta/apply.h"
+#include "delta/edge_delta.h"
+#include "store/snapshot_store.h"
+#include "util/status.h"
+
+namespace asti::store {
+
+/// `<dir>/<name>.delta.asms`.
+std::string DeltaPathFor(const SnapshotStore& store, const std::string& name);
+
+/// True when the named snapshot has a staged delta.
+bool HasDelta(const SnapshotStore& store, const std::string& name);
+
+/// A base snapshot plus its staged delta, applied: the minted next epoch.
+struct DeltaSnapshot {
+  /// The mmap'd base epoch; its `warm` collections belong to this graph.
+  GraphSnapshot base;
+  EdgeDelta delta;
+  /// The minted next-epoch graph (digest-identical to a from-scratch
+  /// rebuild of the mutated edge list). For reweight-only deltas it spans
+  /// the base mapping (structure arrays shared); either way copies are
+  /// cheap and pin what they need.
+  DirectedGraph minted;
+  DeltaApplyStats stats;
+  /// ForwardCsrDigest of `minted`.
+  uint64_t minted_digest = 0;
+};
+
+/// Stages `delta` as the named snapshot's next epoch: opens `<name>.asms`,
+/// stamps the batch's base/result digests from a trial apply (validating
+/// it against the base in the process), and writes `<name>.delta.asms`
+/// bound to the base file's graph_digest (tmp + rename). NotFound when the
+/// base snapshot is missing; forwards ApplyDelta's InvalidArgument for
+/// batches the base cannot absorb.
+Status SaveDelta(const SnapshotStore& store, const std::string& name, EdgeDelta delta);
+
+/// Removes a staged delta (OK if none exists; IOError on filesystem
+/// failure) — used after the delta is compacted into a full snapshot.
+Status DropDelta(const SnapshotStore& store, const std::string& name);
+
+/// Opens `<name>.asms`, verifies `<name>.delta.asms` against it, and mints
+/// the next epoch. NotFound when either file is missing.
+StatusOr<DeltaSnapshot> LoadSnapshotWithDelta(
+    const SnapshotStore& store, const std::string& name,
+    SnapshotVerify verify = SnapshotVerify::kStructural);
+
+}  // namespace asti::store

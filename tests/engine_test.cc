@@ -237,18 +237,46 @@ TEST_F(EngineTest, UnknownGraphNameIsNotFound) {
   EXPECT_EQ(engine.admission_stats().queue.accepted, 0u);
 }
 
-// The deprecated SeedMinEngine::Options alias must keep compiling (and
-// behaving identically) for one release. Scoped suppression: the alias is
-// [[deprecated]] and CI builds with -Werror.
-TEST_F(EngineTest, DeprecatedOptionsAliasStillServes) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  SeedMinEngine::Options options;
-#pragma GCC diagnostic pop
-  options.num_threads = 1;
-  SeedMinEngine engine(catalog_, options);
-  const auto result = engine.Solve(AlphaRequest());
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
+// A sampler-cache byte budget small enough to hold only one entry forces
+// LRU eviction when requests alternate between two cache keys, surfaces
+// the drops through asti_sampler_cache_evictions_total, and — the
+// load-bearing part — never changes results: a re-created entry
+// regenerates bit-identical sets because streams derive from the key.
+TEST_F(EngineTest, CacheByteBudgetEvictsWithoutChangingResults) {
+  SolveRequest ic = AlphaRequest();
+  SolveRequest lt = AlphaRequest();
+  lt.model = DiffusionModel::kLinearThreshold;
+
+  SeedMinEngine::ServingOptions unlimited;
+  unlimited.num_threads = 1;
+  SeedMinEngine baseline(catalog_, unlimited);
+  const auto ic_expected = baseline.Solve(ic);
+  const auto lt_expected = baseline.Solve(lt);
+  ASSERT_TRUE(ic_expected.ok()) << ic_expected.status().ToString();
+  ASSERT_TRUE(lt_expected.ok()) << lt_expected.status().ToString();
+
+  SeedMinEngine::ServingOptions tight;
+  tight.num_threads = 1;
+  tight.cache_byte_budget = 1;  // nothing fits beside the entry just used
+  SeedMinEngine engine(catalog_, tight);
+  for (int round = 0; round < 3; ++round) {
+    const auto ic_result = engine.Solve(ic);
+    const auto lt_result = engine.Solve(lt);
+    ASSERT_TRUE(ic_result.ok()) << ic_result.status().ToString();
+    ASSERT_TRUE(lt_result.ok()) << lt_result.status().ToString();
+    EXPECT_EQ(ic_result->seed_counts, ic_expected->seed_counts);
+    EXPECT_EQ(ic_result->spreads, ic_expected->spreads);
+    EXPECT_EQ(lt_result->seed_counts, lt_expected->seed_counts);
+    EXPECT_EQ(lt_result->spreads, lt_expected->spreads);
+  }
+
+  uint64_t evictions = 0;
+  for (const auto& counter : engine.metrics_snapshot().counters) {
+    if (counter.name == "asti_sampler_cache_evictions_total") {
+      evictions += counter.value;
+    }
+  }
+  EXPECT_GT(evictions, 0u);
 }
 
 // NewRequest stamps the serving-level per-request defaults so callers

@@ -335,5 +335,64 @@ TEST(SamplerCacheTest, RetireWithLiveViewKeepsTheViewReadable) {
   EXPECT_GT(total_coverage, 0u);
 }
 
+// --- Byte-budget LRU eviction -----------------------------------------------
+
+// A budget too small for two entries evicts the least-recently-acquired
+// one; the entry just served always survives (one working set fits), and
+// the re-created entry regenerates bit-identical sets because streams
+// derive from the cache key, never from acquisition history.
+TEST(SamplerCacheTest, ByteBudgetEvictsLruAndRegeneratesIdentically) {
+  const DirectedGraph graph = TestGraph();
+  const SamplerCacheKey ic = SamplerCacheKey::Rr(DiffusionModel::kIndependentCascade);
+  const SamplerCacheKey lt = SamplerCacheKey::Rr(DiffusionModel::kLinearThreshold);
+
+  SamplerCache unlimited(graph);
+  const std::string ic_expected =
+      Fingerprint(unlimited.Acquire(ic, 120, nullptr, nullptr, nullptr), 120);
+  const std::string lt_expected =
+      Fingerprint(unlimited.Acquire(lt, 120, nullptr, nullptr, nullptr), 120);
+  EXPECT_EQ(unlimited.Stats().evictions, 0u);
+
+  SamplerCache cache(graph, nullptr, nullptr, /*byte_budget=*/1);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(Fingerprint(cache.Acquire(ic, 120, nullptr, nullptr, nullptr), 120),
+              ic_expected);
+    EXPECT_EQ(Fingerprint(cache.Acquire(lt, 120, nullptr, nullptr, nullptr), 120),
+              lt_expected);
+  }
+  const SamplerCacheStats stats = cache.Stats();
+  // Every Acquire after the first evicted the other entry, so every
+  // Acquire was a fresh fill — never an extension or hit.
+  EXPECT_EQ(stats.evictions, 5u);
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.hits, 0u);
+  // At most the just-served entry remains resident.
+  EXPECT_LE(cache.TotalBytes(), unlimited.TotalBytes());
+}
+
+// A budget large enough for the working set never evicts, and a view
+// handed out before an eviction stays readable afterwards (chunk pins are
+// independent of the cache map).
+TEST(SamplerCacheTest, BudgetRespectsWorkingSetAndLiveViewsSurviveEviction) {
+  const DirectedGraph graph = TestGraph();
+  const SamplerCacheKey ic = SamplerCacheKey::Rr(DiffusionModel::kIndependentCascade);
+  const SamplerCacheKey lt = SamplerCacheKey::Rr(DiffusionModel::kLinearThreshold);
+
+  SamplerCache roomy(graph, nullptr, nullptr, /*byte_budget=*/1u << 30);
+  roomy.Acquire(ic, 80, nullptr, nullptr, nullptr);
+  roomy.Acquire(lt, 80, nullptr, nullptr, nullptr);
+  roomy.Acquire(ic, 80, nullptr, nullptr, nullptr);
+  EXPECT_EQ(roomy.Stats().evictions, 0u);
+  EXPECT_EQ(roomy.Stats().hits, 1u);
+
+  SamplerCache tight(graph, nullptr, nullptr, /*byte_budget=*/1);
+  const CollectionView held = tight.Acquire(ic, 80, nullptr, nullptr, nullptr);
+  const std::string expected = Fingerprint(held, 80);
+  tight.Acquire(lt, 80, nullptr, nullptr, nullptr);  // evicts the ic entry
+  EXPECT_GE(tight.Stats().evictions, 1u);
+  ASSERT_EQ(held.NumSets(), 80u);
+  EXPECT_EQ(Fingerprint(held, 80), expected);
+}
+
 }  // namespace
 }  // namespace asti
